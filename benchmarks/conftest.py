@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+section and prints the corresponding rows/series.  A single
+ExperimentRunner is shared across the session so kernels simulated for one
+figure are reused by another.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(default_scale=0.5)

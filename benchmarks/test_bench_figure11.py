@@ -1,0 +1,44 @@
+"""Benchmark regenerating Figure 11: dynamic instruction counts, MVE vs RVV.
+
+Paper: MVE needs 2.3x fewer dynamic vector instructions and 2.0x fewer
+scalar instructions than RVV on the same engine.
+"""
+
+from repro.experiments import format_table, run_figure10, run_figure11
+
+
+def test_figure11_instruction_distribution(benchmark, runner):
+    figure10 = run_figure10(runner)
+    result = benchmark.pedantic(
+        run_figure11, kwargs={"runner": runner, "figure10": figure10}, rounds=1, iterations=1
+    )
+    rows = []
+    for mix in result.kernels:
+        mve_total = sum(mix.mve_counts.values())
+        rvv_total = sum(mix.rvv_counts.values())
+        rows.append(
+            [
+                mix.kernel,
+                mix.dims,
+                mve_total,
+                rvv_total,
+                f"{rvv_total / max(1, mve_total):.1f}x",
+                mix.mve_scalar,
+                mix.rvv_scalar,
+                f"{mix.rvv_scalar / max(1, mix.mve_scalar):.1f}x",
+            ]
+        )
+    print("\nFigure 11 - dynamic instruction counts (MVE vs RVV)")
+    print(
+        format_table(
+            ["kernel", "dims", "MVE vec", "RVV vec", "vec ratio", "MVE scalar",
+             "RVV scalar", "scalar ratio"],
+            rows,
+        )
+    )
+    print(
+        f"mean vector-instruction reduction {result.mean_vector_reduction:.2f}x (paper 2.3x), "
+        f"scalar reduction {result.mean_scalar_reduction:.2f}x (paper 2.0x)"
+    )
+    assert result.mean_vector_reduction > 1.0
+    assert result.mean_scalar_reduction > 1.0

@@ -1,0 +1,64 @@
+"""Benchmark regenerating Figure 12: Duality Cache comparison, SRAM-array
+scalability and precision sensitivity.
+
+Paper: (a) MVE is ~1.5x faster than the Duality Cache SIMT model;
+(b) going from 8 to 64 arrays speeds kernels up by 3.0-6.7x;
+(c) lower precision runs faster and widens the gap over Neon.
+"""
+
+from repro.experiments import format_table, run_figure12a, run_figure12b, run_figure12c
+
+
+def test_figure12a_duality_cache(benchmark, runner):
+    rows = benchmark.pedantic(run_figure12a, kwargs={"runner": runner}, rounds=1, iterations=1)
+    print("\nFigure 12(a) - Duality Cache (SIMT) time normalized to MVE")
+    print(
+        format_table(
+            ["kernel", "DC/MVE time", "DC idle/comp/data %"],
+            [
+                [
+                    row.kernel,
+                    f"{row.dc_over_mve_time:.2f}x",
+                    f"{row.dc_breakdown['idle'] * 100:.0f}/"
+                    f"{row.dc_breakdown['compute'] * 100:.0f}/"
+                    f"{row.dc_breakdown['data_access'] * 100:.0f}",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    mean = sum(row.dc_over_mve_time for row in rows) / len(rows)
+    print(f"mean DC/MVE slowdown {mean:.2f}x (paper ~1.5x)")
+    assert all(row.dc_over_mve_time > 1.0 for row in rows)
+
+
+def test_figure12b_array_scalability(benchmark, runner):
+    points = benchmark.pedantic(run_figure12b, kwargs={"runner": runner}, rounds=1, iterations=1)
+    print("\nFigure 12(b) - execution time normalized to the 8-array engine")
+    print(
+        format_table(
+            ["kernel", "#arrays", "normalized time"],
+            [[p.kernel, p.num_arrays, f"{p.normalized_time:.2f}"] for p in points],
+        )
+    )
+    # 64 arrays must be faster than 8 arrays for every kernel.
+    for kernel in {p.kernel for p in points}:
+        series = [p for p in points if p.kernel == kernel]
+        assert series[-1].normalized_time < series[0].normalized_time
+
+
+def test_figure12c_precision_sensitivity(benchmark):
+    points = benchmark.pedantic(run_figure12c, rounds=1, iterations=1)
+    print("\nFigure 12(c) - sensitivity to element precision (MAC kernel)")
+    print(
+        format_table(
+            ["precision", "time vs fp32", "speedup over Neon"],
+            [
+                [p.precision, f"{p.normalized_time:.2f}", f"{p.speedup_over_neon:.2f}x"]
+                for p in points
+            ],
+        )
+    )
+    by_name = {p.precision: p for p in points}
+    assert by_name["INT16"].speedup_over_neon > by_name["INT32"].speedup_over_neon
+    assert by_name["FLOAT16"].normalized_time < by_name["FLOAT32"].normalized_time

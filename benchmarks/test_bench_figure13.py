@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 13: MVE vs RVV for every in-SRAM scheme.
+
+Paper: MVE improves bit-serial by 3.8x, bit-hybrid by 2.8x, bit-parallel by
+1.8x and associative computing by 1.2x; AC benefits least because its
+arithmetic latency dominates.
+"""
+
+from repro.experiments import format_table, run_figure13
+
+
+def test_figure13_schemes(benchmark, runner):
+    result = benchmark.pedantic(run_figure13, kwargs={"runner": runner}, rounds=1, iterations=1)
+    rows = [
+        [
+            row.scheme,
+            f"{row.time_ratio * 100:.1f}%",
+            f"{row.speedup:.2f}x",
+            f"{row.rvv_breakdown['idle'] * 100:.0f}%",
+            f"{row.mve_breakdown['idle'] * 100:.0f}%",
+        ]
+        for row in result.schemes
+    ]
+    print("\nFigure 13 - MVE time normalized to RVV per in-SRAM scheme")
+    print(
+        format_table(
+            ["scheme", "MVE/RVV time", "speedup", "RVV idle", "MVE idle"], rows
+        )
+    )
+    print("paper speedups: BS 3.8x, BH 2.8x, BP 1.8x, AC 1.2x")
+    speedups = {row.scheme: row.speedup for row in result.schemes}
+    # Every scheme benefits, and associative computing benefits the least.
+    assert all(value >= 1.0 for value in speedups.values())
+    assert speedups["associative"] <= max(speedups.values())

@@ -1,0 +1,40 @@
+"""Benchmark regenerating Figure 7: MVE vs Arm Neon, per library.
+
+Paper: 2.9x average speedup, 8.8x average energy reduction; execution time
+split roughly 40% idle / 25% compute / 35% data access.
+"""
+
+from repro.experiments import format_table, run_figure7
+
+
+def test_figure7_mve_vs_neon(benchmark, runner):
+    result = benchmark.pedantic(
+        run_figure7, kwargs={"runner": runner, "scale": 0.5}, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            lib.library,
+            lib.dims,
+            f"{lib.normalized_time_percent:.1f}%",
+            f"{lib.speedup:.2f}x",
+            f"{lib.energy_ratio:.2f}x",
+            f"{lib.idle_fraction * 100:.0f}/{lib.compute_fraction * 100:.0f}/"
+            f"{lib.data_fraction * 100:.0f}",
+        ]
+        for lib in result.libraries
+    ]
+    print("\nFigure 7 - MVE normalized to Neon (per library)")
+    print(
+        format_table(
+            ["library", "dims", "MVE/Neon time", "speedup", "energy gain",
+             "idle/comp/data %"],
+            rows,
+        )
+    )
+    print(
+        f"mean speedup {result.mean_speedup:.2f}x (paper 2.9x), "
+        f"mean energy reduction {result.mean_energy_ratio:.2f}x (paper 8.8x)"
+    )
+    # Shape checks: MVE wins on average, and by a sizeable factor on energy.
+    assert result.mean_speedup > 1.5
+    assert result.mean_energy_ratio > 3.0

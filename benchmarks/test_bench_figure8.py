@@ -1,0 +1,37 @@
+"""Benchmark regenerating Figure 8: mobile GPU normalized to MVE.
+
+Paper: GPU is 9.3x slower (including data transfer) and uses 5.2x more
+energy; after discounting transfer the GPU is still 2.4x slower on average.
+"""
+
+from repro.experiments import format_table, run_figure8
+
+
+def test_figure8_gpu_vs_mve(benchmark, runner):
+    result = benchmark.pedantic(
+        run_figure8, kwargs={"runner": runner, "scale": 0.5}, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            row.kernel,
+            f"{row.time_ratio_with_transfer:.2f}x",
+            f"{row.time_ratio_kernel_only:.2f}x",
+            f"{row.energy_ratio:.2f}x",
+            f"{row.gpu_transfer_fraction * 100:.0f}%",
+        ]
+        for row in result.kernels
+    ]
+    print("\nFigure 8 - GPU / MVE ratios (per kernel)")
+    print(
+        format_table(
+            ["kernel", "GPU/MVE time (with copy)", "GPU/MVE time (kernel only)",
+             "GPU/MVE energy", "copy share of GPU time"],
+            rows,
+        )
+    )
+    print(
+        f"mean GPU/MVE time {result.mean_time_ratio:.2f}x (paper 9.3x), kernel-only "
+        f"{result.mean_kernel_only_ratio:.2f}x (paper 2.4x), energy "
+        f"{result.mean_energy_ratio:.2f}x (paper 5.2x)"
+    )
+    assert result.mean_time_ratio > 1.0

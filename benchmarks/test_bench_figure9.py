@@ -1,0 +1,38 @@
+"""Benchmark regenerating Figure 9: GEMM/SpMM execution time vs problem size.
+
+Paper: MVE wins below roughly 6.0M (GEMM) / 4.6M (SpMM) MAC operations; the
+GPU's raw throughput wins above that once launch/copy overheads amortize.
+"""
+
+from repro.experiments import format_table, run_figure9
+
+
+def test_figure9_gemm_spmm_crossover(benchmark, runner):
+    result = benchmark.pedantic(run_figure9, kwargs={"runner": runner}, rounds=1, iterations=1)
+
+    def rows(points):
+        return [
+            [
+                "x".join(str(s) for s in p.shape),
+                f"{p.flops / 1e6:.2f}M",
+                f"{p.mve_time_ms:.4f}",
+                f"{p.gpu_time_ms:.4f}",
+                "MVE" if p.mve_wins else "GPU",
+            ]
+            for p in points
+        ]
+
+    print("\nFigure 9 - GEMM sweep")
+    print(format_table(["shape", "ops", "MVE ms", "GPU ms", "winner"], rows(result.gemm_points)))
+    print("\nFigure 9 - SpMM sweep")
+    print(format_table(["shape", "ops", "MVE ms", "GPU ms", "winner"], rows(result.spmm_points)))
+    gemm_cross = result.gemm_crossover_flops
+    spmm_cross = result.spmm_crossover_flops
+    print(
+        f"crossover: GEMM {gemm_cross / 1e6 if gemm_cross else float('inf'):.1f}M ops "
+        f"(paper ~6.0M), SpMM {spmm_cross / 1e6 if spmm_cross else float('inf'):.1f}M ops "
+        f"(paper ~4.6M)"
+    )
+    # Shape check: MVE wins the smallest problem in both sweeps.
+    assert result.gemm_points[0].mve_wins
+    assert result.spmm_points[0].mve_wins

@@ -1,0 +1,68 @@
+"""Benchmarks regenerating Table I, Table II, Table III and Table V."""
+
+from repro.experiments import (
+    format_table,
+    table1_isa_comparison,
+    table2_instruction_latencies,
+    table3_libraries,
+    table5_area,
+    table5_summary,
+)
+
+
+def test_table1_isa_comparison(benchmark):
+    table = benchmark.pedantic(table1_isa_comparison, rounds=1, iterations=1)
+    rows = [
+        [isa, spec["max_vector_length"], spec["strided_access"], spec["random_access"],
+         spec["masked_execution"]]
+        for isa, spec in table.items()
+    ]
+    print("\nTable I - Vector ISA extension comparison")
+    print(format_table(["ISA", "Max VL", "Strided", "Random", "Masking"], rows))
+    assert "dimension-level" in table["MVE"]["masked_execution"]
+
+
+def test_table2_bit_serial_latencies(benchmark):
+    rows = benchmark.pedantic(table2_instruction_latencies, args=(32,), rounds=1, iterations=1)
+    print("\nTable II - MVE operations and bit-serial latency (n = 32)")
+    print(
+        format_table(
+            ["op", "category", "latency(n=32)", "formula"],
+            [[r.opcode, r.category, r.latency_32bit, r.latency_formula] for r in rows],
+        )
+    )
+    by_name = {r.opcode: r.latency_32bit for r in rows}
+    assert by_name["vadd"] == 32 and by_name["vmul"] == 32 * 32 + 5 * 32
+
+
+def test_table3_evaluated_libraries(benchmark):
+    rows = benchmark.pedantic(table3_libraries, rounds=1, iterations=1)
+    print("\nTable III - Evaluated libraries")
+    print(
+        format_table(
+            ["library", "domain", "dims", "#kernels"],
+            [[r["library"], r["domain"], r["dims"], r["num_kernels"]] for r in rows],
+        )
+    )
+    assert len(rows) == 12
+
+
+def test_table5_area_overhead(benchmark):
+    report = benchmark.pedantic(table5_area, rounds=1, iterations=1)
+    summary = table5_summary()
+    print("\nTable V - Area overhead to the scalar core")
+    print(
+        format_table(
+            ["module", "area (mm^2)", "overhead (%)"],
+            [
+                [name, f"{area:.4f}", f"{report.module_overhead_percent(name):.3f}"]
+                for name, area in report.modules_mm2.items()
+            ]
+            + [["total", f"{report.total_mm2:.4f}", f"{report.overhead_percent:.3f}"]],
+        )
+    )
+    print(
+        f"paper: MVE 3.59% vs Neon 16.3% | measured: MVE "
+        f"{summary['mve_overhead_percent']:.2f}% vs Neon {summary['neon_overhead_percent']:.2f}%"
+    )
+    assert 3.0 < report.overhead_percent < 4.2

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Machine-learning inference scenario: GEMM / SpMM, MVE vs the mobile GPU.
+
+Sweeps CNN-layer-like matrix sizes (the Figure 9 experiment) to find the
+problem size where the GPU's raw throughput overtakes MVE despite its
+kernel-launch and data-copy overheads.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import ExperimentRunner, run_figure9, GEMM_SWEEP, SPMM_SWEEP
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    result = run_figure9(runner, gemm_sweep=GEMM_SWEEP, spmm_sweep=SPMM_SWEEP)
+
+    print("GEMM sweep (fp32, dense):")
+    for point in result.gemm_points:
+        winner = "MVE" if point.mve_wins else "GPU"
+        print(f"  {str(point.shape):>18s}  {point.flops / 1e6:7.2f}M ops  "
+              f"MVE {point.mve_time_ms:8.4f} ms  GPU {point.gpu_time_ms:8.4f} ms  -> {winner}")
+    cross = result.gemm_crossover_flops
+    print("  crossover:", f"{cross / 1e6:.1f}M ops" if cross else "GPU never wins in this sweep",
+          "(paper: ~6.0M)")
+
+    print("\nSpMM sweep (fp32, sparse ELL):")
+    for point in result.spmm_points:
+        winner = "MVE" if point.mve_wins else "GPU"
+        print(f"  {str(point.shape):>18s}  {point.flops / 1e6:7.2f}M ops  "
+              f"MVE {point.mve_time_ms:8.4f} ms  GPU {point.gpu_time_ms:8.4f} ms  -> {winner}")
+    cross = result.spmm_crossover_flops
+    print("  crossover:", f"{cross / 1e6:.1f}M ops" if cross else "GPU never wins in this sweep",
+          "(paper: ~4.6M)")
+
+
+if __name__ == "__main__":
+    main()

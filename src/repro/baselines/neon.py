@@ -1,0 +1,148 @@
+"""Arm Neon (128-bit packed SIMD) baseline model.
+
+Models the Cortex-A76 prime core of Table IV: two 128-bit Advanced SIMD
+pipes at 2.8 GHz fed by the L1/L2/LLC/DRAM hierarchy.  The model is
+throughput-based: compute time follows from the number of 128-bit vector
+micro-ops, memory time from streaming the kernel's footprint through the
+memory system, and the two overlap as in an out-of-order core.  The same
+energy coefficients as the MVE model are used so the Figure 7(b) comparison
+is consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.config import MachineConfig, default_config
+from ..core.energy import EnergyBreakdown, EnergyCoefficients, EnergyModel
+from .profile import KernelProfile
+
+__all__ = ["NeonResult", "NeonModel"]
+
+#: reciprocal throughput (cycles per 128-bit vector op, both pipes combined)
+_OP_THROUGHPUT = {
+    "add": 0.5,
+    "sub": 0.5,
+    "mul": 0.5,
+    "mac": 0.5,
+    "div": 8.0,
+    "min": 0.5,
+    "max": 0.5,
+    "cmp": 0.5,
+    "logic": 0.5,
+    "shift": 0.5,
+    "abs": 0.5,
+}
+
+
+@dataclass
+class NeonResult:
+    """Execution time and energy of the Neon baseline."""
+
+    total_cycles: float
+    compute_cycles: float
+    memory_cycles: float
+    scalar_cycles: float
+    vector_ops: int
+    scalar_instructions: int
+    energy: EnergyBreakdown
+    frequency_ghz: float = 2.8
+
+    @property
+    def time_ms(self) -> float:
+        return self.total_cycles / (self.frequency_ghz * 1e9) * 1e3
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy.total_nj
+
+
+class NeonModel:
+    """Analytic performance/energy model of the 2x128-bit ASIMD baseline."""
+
+    #: fraction of theoretical peak SIMD throughput real kernels achieve on
+    #: the mobile core (dependency stalls, issue limits, loop overhead)
+    simd_efficiency = 0.45
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        coefficients: Optional[EnergyCoefficients] = None,
+        simd_efficiency: Optional[float] = None,
+    ):
+        self.config = config or default_config()
+        self.coefficients = coefficients or EnergyCoefficients()
+        if simd_efficiency is not None:
+            self.simd_efficiency = simd_efficiency
+
+    def run(self, profile: KernelProfile) -> NeonResult:
+        cfg = self.config
+        lanes = max(1, 128 // profile.element_bits)
+
+        # --- compute ----------------------------------------------------- #
+        vector_ops = 0.0
+        compute_cycles = 0.0
+        for kind, per_element in profile.ops_per_element.items():
+            ops = per_element * profile.elements / lanes
+            vector_ops += ops
+            compute_cycles += ops * _OP_THROUGHPUT[kind]
+        compute_cycles /= self.simd_efficiency
+
+        # --- memory ------------------------------------------------------ #
+        line_bytes = cfg.hierarchy.l1d.line_bytes
+        total_bytes = profile.total_bytes
+        lines = max(1, total_bytes // line_bytes)
+        l1_bytes = cfg.hierarchy.l1d.size_bytes
+        l2_bytes = cfg.hierarchy.l2.size_bytes
+        llc_bytes = cfg.hierarchy.llc.size_bytes
+        if total_bytes <= l1_bytes:
+            bytes_per_cycle = 32.0
+            l2_lines, llc_lines, dram_lines = 0, 0, 0
+        elif total_bytes <= l2_bytes:
+            bytes_per_cycle = 24.0
+            l2_lines, llc_lines, dram_lines = lines, 0, 0
+        elif total_bytes <= llc_bytes:
+            bytes_per_cycle = 16.0
+            l2_lines, llc_lines, dram_lines = lines, lines, 0
+        else:
+            bytes_per_cycle = 10.0
+            l2_lines, llc_lines, dram_lines = lines, lines, lines
+        memory_cycles = total_bytes / bytes_per_cycle
+        # Vector load/store micro-ops also occupy the SIMD pipes.
+        ldst_ops = total_bytes / 16.0
+        compute_cycles += ldst_ops * 0.5
+
+        # --- scalar bookkeeping ------------------------------------------ #
+        # Hand-tuned Neon kernels unroll about four vectors per loop
+        # iteration, so the loop overhead is amortised accordingly.
+        iterations = max(1.0, profile.elements / (lanes * 4))
+        scalar_instructions = profile.scalar_ops_per_iteration * iterations
+        scalar_cycles = scalar_instructions / cfg.scalar_ipc
+
+        # The OoO core overlaps compute with memory imperfectly; scalar loop
+        # overhead is mostly hidden but issue bandwidth is shared.
+        total_cycles = (
+            max(compute_cycles, memory_cycles)
+            + 0.3 * min(compute_cycles, memory_cycles)
+            + 0.5 * scalar_cycles
+        )
+
+        # --- energy ------------------------------------------------------- #
+        energy = EnergyModel(self.coefficients, cfg.frequency_ghz)
+        energy.add_neon_ops(int(vector_ops + ldst_ops))
+        energy.add_scalar(int(scalar_instructions))
+        energy.add_l1_accesses(int(ldst_ops))
+        energy.add_cache_lines(l2_lines, llc_lines, dram_lines)
+        energy.add_static(total_cycles, include_cache=False)
+
+        return NeonResult(
+            total_cycles=total_cycles,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            scalar_cycles=scalar_cycles,
+            vector_ops=int(vector_ops + ldst_ops),
+            scalar_instructions=int(scalar_instructions),
+            energy=energy.breakdown,
+            frequency_ghz=cfg.frequency_ghz,
+        )

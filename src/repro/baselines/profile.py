@@ -1,0 +1,82 @@
+"""Operation/data profiles used by the analytic baseline models.
+
+The Neon, GPU and Duality Cache comparisons in the paper come from
+measurements or separate simulators.  Here they are driven by a
+:class:`KernelProfile` that each workload derives from its own parameters:
+element counts, the arithmetic operations applied per element, the bytes
+moved, and the scalar bookkeeping per vector iteration.  The profile is the
+single source of truth shared by all baseline models so that comparisons
+stay apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelProfile", "OP_KINDS"]
+
+#: operation kinds recognised by the baseline models
+OP_KINDS = (
+    "add",
+    "sub",
+    "mul",
+    "mac",
+    "div",
+    "min",
+    "max",
+    "cmp",
+    "logic",
+    "shift",
+    "abs",
+)
+
+
+@dataclass
+class KernelProfile:
+    """Work performed by one kernel invocation, independent of the ISA."""
+
+    name: str
+    element_bits: int = 32
+    is_float: bool = False
+    #: number of result elements produced
+    elements: int = 0
+    #: arithmetic operations applied per result element, keyed by OP_KINDS
+    ops_per_element: dict[str, float] = field(default_factory=dict)
+    #: bytes read from / written to memory by the kernel
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: scalar bookkeeping instructions per vector-register-worth of work
+    scalar_ops_per_iteration: float = 8.0
+    #: 1D data-level parallelism available to a one-dimensional ISA
+    parallelism_1d: int = 0
+    #: nesting depth of the kernel's loops (1-4)
+    dimensions: int = 1
+
+    def __post_init__(self) -> None:
+        unknown = set(self.ops_per_element) - set(OP_KINDS)
+        if unknown:
+            raise ValueError(f"unknown op kinds in profile {self.name!r}: {sorted(unknown)}")
+        if self.parallelism_1d <= 0:
+            self.parallelism_1d = max(1, self.elements)
+
+    @property
+    def total_ops(self) -> float:
+        """Total scalar arithmetic operations (MACs count as two)."""
+        total = 0.0
+        for kind, per_element in self.ops_per_element.items():
+            weight = 2.0 if kind == "mac" else 1.0
+            total += weight * per_element
+        return total * self.elements
+
+    @property
+    def flops(self) -> float:
+        """Floating-point operations (zero for integer kernels)."""
+        return self.total_ops if self.is_float else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.total_ops / max(1, self.total_bytes)

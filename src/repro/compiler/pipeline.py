@@ -1,0 +1,53 @@
+"""Compilation pipeline: schedule, analyse liveness, allocate registers.
+
+``compile_trace`` is the single entry point used by the timing simulator and
+the experiments: it takes the raw trace recorded by the functional machine
+and produces the trace that actually reaches the MVE controller, with the
+kernel-width config instruction and any spill traffic inserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..isa.instructions import TraceEntry
+from ..isa.registers import PhysicalRegisterFile
+from .liveness import LivenessInfo, analyze_liveness
+from .regalloc import AllocationResult, allocate_registers
+from .scheduler import schedule_trace
+
+__all__ = ["CompiledKernel", "compile_trace"]
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel trace after scheduling and register allocation."""
+
+    trace: list[TraceEntry]
+    liveness: LivenessInfo
+    allocation: AllocationResult
+
+    @property
+    def spill_count(self) -> int:
+        return self.allocation.spill_count
+
+    @property
+    def element_bits(self) -> int:
+        return self.allocation.element_bits
+
+    @property
+    def peak_pressure(self) -> int:
+        return self.allocation.peak_pressure
+
+
+def compile_trace(
+    trace: Sequence[TraceEntry],
+    register_file: Optional[PhysicalRegisterFile] = None,
+    use_scheduler: bool = True,
+) -> CompiledKernel:
+    """Run the full compiler pipeline on a recorded trace."""
+    scheduled = schedule_trace(trace) if use_scheduler else list(trace)
+    liveness = analyze_liveness(scheduled)
+    allocation = allocate_registers(scheduled, register_file=register_file, liveness=liveness)
+    return CompiledKernel(trace=allocation.trace, liveness=liveness, allocation=allocation)

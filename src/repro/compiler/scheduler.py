@@ -1,0 +1,97 @@
+"""List scheduling under register pressure.
+
+The paper uses a bottom-up list-hybrid scheduler that tries to keep the
+number of simultaneously live vector registers below the physical register
+count by scheduling defining instructions close to their uses.  On a
+straight-line dynamic trace the equivalent transformation is to *sink*
+definitions toward their first use while respecting data dependences and the
+ordering constraints of memory and config instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..isa.instructions import (
+    InstructionCategory,
+    MemoryInstruction,
+    ScalarBlock,
+    TraceEntry,
+)
+from .liveness import defined_register, used_registers
+
+__all__ = ["schedule_trace"]
+
+
+def _is_barrier(entry: TraceEntry) -> bool:
+    """Entries that must not be reordered across.
+
+    Config instructions change the controller state every later instruction
+    depends on; vector memory instructions must stay ordered with respect to
+    each other (the controller executes one memory op at a time) and with
+    scalar blocks (which may feed addresses).
+    """
+    if isinstance(entry, ScalarBlock):
+        return True
+    if isinstance(entry, MemoryInstruction):
+        return True
+    return entry.category is InstructionCategory.CONFIG
+
+
+def schedule_trace(trace: Sequence[TraceEntry]) -> list[TraceEntry]:
+    """Sink pure compute/move instructions toward their first use.
+
+    The transformation walks the trace and delays every non-barrier defining
+    instruction until just before the first entry that uses its result (or
+    the next barrier), which shortens live ranges without changing program
+    semantics.
+    """
+    result: list[TraceEntry] = []
+    pending: list[TraceEntry] = []  # sunk definitions awaiting their first use
+
+    def flush_pending() -> None:
+        result.extend(pending)
+        pending.clear()
+
+    for entry in trace:
+        if _is_barrier(entry):
+            uses = set(used_registers(entry))
+            if uses:
+                _release_needed(pending, result, uses)
+            flush_pending()
+            result.append(entry)
+            continue
+        uses = set(used_registers(entry))
+        if uses:
+            _release_needed(pending, result, uses)
+        if defined_register(entry) is not None:
+            pending.append(entry)
+        else:
+            result.append(entry)
+    flush_pending()
+    return result
+
+
+def _release_needed(
+    pending: list[TraceEntry], result: list[TraceEntry], needed: set[int]
+) -> None:
+    """Move pending definitions (and their transitive inputs) to the result."""
+    progress = True
+    while progress:
+        progress = False
+        for i, candidate in enumerate(pending):
+            defined = defined_register(candidate)
+            if defined in needed:
+                needed.update(used_registers(candidate))
+                # Everything the candidate depends on that is still pending
+                # must be released first; restart the scan.
+                earlier = pending[:i]
+                dependency_pending = any(
+                    defined_register(e) in set(used_registers(candidate)) for e in earlier
+                )
+                if dependency_pending:
+                    continue
+                result.append(candidate)
+                pending.pop(i)
+                progress = True
+                break

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: MVE controller, timing, energy, area."""
+
+from .address_gen import address_range, cache_line_addresses, element_addresses
+from .area import AreaModel, AreaReport, GPU_AREA_MM2, NEON_AREA_MM2, SCALAR_CORE_AREA_MM2
+from .config import MachineConfig, default_config
+from .controller import InstructionPlacement, MVEControllerModel
+from .energy import EnergyBreakdown, EnergyCoefficients, EnergyModel
+from .results import SimulationResult
+from .scalar_core import AddressDecoder, ScalarCoreModel, WriteBuffer
+from .simulator import MVESimulator, simulate_kernel
+
+__all__ = [
+    "address_range",
+    "cache_line_addresses",
+    "element_addresses",
+    "AreaModel",
+    "AreaReport",
+    "GPU_AREA_MM2",
+    "NEON_AREA_MM2",
+    "SCALAR_CORE_AREA_MM2",
+    "MachineConfig",
+    "default_config",
+    "InstructionPlacement",
+    "MVEControllerModel",
+    "EnergyBreakdown",
+    "EnergyCoefficients",
+    "EnergyModel",
+    "SimulationResult",
+    "AddressDecoder",
+    "ScalarCoreModel",
+    "WriteBuffer",
+    "MVESimulator",
+    "simulate_kernel",
+]

@@ -1,0 +1,85 @@
+"""Area model (Table V of the paper).
+
+The paper reports per-module areas at 7 nm, taken from RTL synthesis (MVE
+controller, address decoder), CACTI (MSHR), and prior work (TMU, crossbar,
+FSM, peripherals), against a 1.07 mm^2 Cortex-A76-class scalar core.  We
+encode those values and scale the array-count-dependent modules so that the
+area overhead of alternative configurations (Figure 12(b) sweeps) can be
+reported as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AreaModel", "AreaReport", "SCALAR_CORE_AREA_MM2", "NEON_AREA_MM2", "GPU_AREA_MM2"]
+
+SCALAR_CORE_AREA_MM2 = 1.07
+NEON_AREA_MM2 = 0.1741
+GPU_AREA_MM2 = 11.1908
+
+#: Table V module areas (mm^2 at 7 nm) for the default 32-array configuration.
+_BASE_MODULE_AREAS = {
+    "controller": 0.0043,
+    "mshr": 0.0018,
+    "tmu": 0.0053,
+    "xb": 0.0039,
+    "fsm": 0.0123,
+    "peripheral": 0.0063,
+    "address_decoder": 0.0042,
+}
+
+#: Modules whose area scales with the number of SRAM arrays / control blocks.
+_ARRAY_SCALED_MODULES = {"tmu", "xb", "fsm", "peripheral"}
+
+
+@dataclass
+class AreaReport:
+    """Per-module areas and the resulting overhead to the scalar core."""
+
+    modules_mm2: dict[str, float]
+    scalar_core_mm2: float = SCALAR_CORE_AREA_MM2
+
+    @property
+    def total_mm2(self) -> float:
+        return sum(self.modules_mm2.values())
+
+    @property
+    def overhead_percent(self) -> float:
+        return 100.0 * self.total_mm2 / self.scalar_core_mm2
+
+    def module_overhead_percent(self, module: str) -> float:
+        return 100.0 * self.modules_mm2[module] / self.scalar_core_mm2
+
+
+class AreaModel:
+    """Computes the MVE area overhead for a given engine configuration."""
+
+    def __init__(
+        self,
+        num_arrays: int = 32,
+        arrays_per_control_block: int = 4,
+        peripheral_area_factor: float = 1.0,
+    ):
+        self.num_arrays = num_arrays
+        self.arrays_per_control_block = arrays_per_control_block
+        self.peripheral_area_factor = peripheral_area_factor
+
+    def report(self) -> AreaReport:
+        scale = self.num_arrays / 32.0
+        cb_scale = (self.num_arrays / self.arrays_per_control_block) / 8.0
+        modules = {}
+        for name, base in _BASE_MODULE_AREAS.items():
+            area = base
+            if name in _ARRAY_SCALED_MODULES:
+                area = base * scale
+            if name == "fsm":
+                area = base * cb_scale
+            if name == "peripheral":
+                area = area * self.peripheral_area_factor
+            modules[name] = area
+        return AreaReport(modules_mm2=modules)
+
+    @staticmethod
+    def neon_overhead_percent() -> float:
+        return 100.0 * NEON_AREA_MM2 / SCALAR_CORE_AREA_MM2

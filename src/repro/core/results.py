@@ -1,0 +1,96 @@
+"""Result containers for the timing simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .energy import EnergyBreakdown
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one kernel trace on one machine configuration.
+
+    Cycle counts are CPU cycles at the configured core frequency.  The
+    breakdown follows the paper's classification: *idle* is time the control
+    blocks have no MVE instruction to execute, *compute* is in-SRAM
+    arithmetic/move time, and *data access* is vector load/store time
+    (cache, DRAM and TMU).
+    """
+
+    total_cycles: float = 0.0
+    idle_cycles: float = 0.0
+    compute_cycles: float = 0.0
+    data_access_cycles: float = 0.0
+
+    scalar_instructions: int = 0
+    vector_instructions: dict[str, int] = field(default_factory=dict)
+    spill_instructions: int = 0
+
+    #: average fraction of SIMD lanes doing useful work during compute ops
+    lane_utilization: float = 0.0
+    #: average fraction of control blocks enabled over all vector instructions
+    cb_utilization: float = 0.0
+
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    frequency_ghz: float = 2.8
+
+    dram_bytes: int = 0
+    l2_hit_rate: float = 0.0
+
+    @property
+    def time_ms(self) -> float:
+        return self.total_cycles / (self.frequency_ghz * 1e9) * 1e3
+
+    @property
+    def time_us(self) -> float:
+        return self.time_ms * 1e3
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy.total_nj
+
+    @property
+    def vector_instruction_total(self) -> int:
+        return sum(self.vector_instructions.values())
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        total = max(self.total_cycles, 1e-12)
+        return {
+            "idle": self.idle_cycles / total,
+            "compute": self.compute_cycles / total,
+            "data_access": self.data_access_cycles / total,
+        }
+
+    def merged_with(self, other: "SimulationResult") -> "SimulationResult":
+        """Combine results of independently-simulated kernel invocations."""
+        merged = SimulationResult(
+            total_cycles=self.total_cycles + other.total_cycles,
+            idle_cycles=self.idle_cycles + other.idle_cycles,
+            compute_cycles=self.compute_cycles + other.compute_cycles,
+            data_access_cycles=self.data_access_cycles + other.data_access_cycles,
+            scalar_instructions=self.scalar_instructions + other.scalar_instructions,
+            spill_instructions=self.spill_instructions + other.spill_instructions,
+            frequency_ghz=self.frequency_ghz,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+        )
+        merged.vector_instructions = dict(self.vector_instructions)
+        for key, value in other.vector_instructions.items():
+            merged.vector_instructions[key] = merged.vector_instructions.get(key, 0) + value
+        total_cycles = max(merged.total_cycles, 1e-12)
+        merged.lane_utilization = (
+            self.lane_utilization * self.total_cycles + other.lane_utilization * other.total_cycles
+        ) / total_cycles
+        merged.cb_utilization = (
+            self.cb_utilization * self.total_cycles + other.cb_utilization * other.total_cycles
+        ) / total_cycles
+        merged.energy = EnergyBreakdown(
+            compute_nj=self.energy.compute_nj + other.energy.compute_nj,
+            data_access_nj=self.energy.data_access_nj + other.energy.data_access_nj,
+            cpu_nj=self.energy.cpu_nj + other.energy.cpu_nj,
+            static_nj=self.energy.static_nj + other.energy.static_nj,
+        )
+        merged.l2_hit_rate = (self.l2_hit_rate + other.l2_hit_rate) / 2.0
+        return merged

@@ -1,0 +1,104 @@
+"""Scalar core front-end model: issue, LSQ address decoder, write buffer.
+
+MVE instructions are fetched and decoded by the scalar core, held in the ROB
+and LSQ, and issued to the L2-side MVE controller at commit (Section V-A).
+The details that matter for performance are:
+
+* the rate at which the core can feed the controller (scalar IPC and issue
+  width) -- this creates the *idle* time of the in-cache engine;
+* the write buffer that holds committed MVE stores until the controller
+  acknowledges them -- younger scalar loads that may alias a pending MVE
+  store stall, using the address range of Equation 2 computed by the LSQ
+  address decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instructions import MemoryInstruction, ScalarBlock
+from .address_gen import address_range
+from .config import MachineConfig
+
+__all__ = ["AddressDecoder", "WriteBuffer", "ScalarCoreModel"]
+
+
+class AddressDecoder:
+    """LSQ-side mirror of the dimension control registers (Section V-A).
+
+    It computes the conservative byte range of a committed MVE store so the
+    write buffer can detect dependences with younger scalar loads without
+    expanding every element address.
+    """
+
+    @staticmethod
+    def store_range(instruction: MemoryInstruction) -> tuple[int, int]:
+        return address_range(instruction)
+
+
+@dataclass
+class _PendingStore:
+    low: int
+    high: int
+    completes_at: float
+
+
+class WriteBuffer:
+    """Committed MVE stores awaiting acknowledgement from the controller."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self._pending: list[_PendingStore] = []
+
+    def drain_completed(self, now: float) -> None:
+        self._pending = [p for p in self._pending if p.completes_at > now]
+
+    def push(self, instruction: MemoryInstruction, completes_at: float, now: float) -> float:
+        """Add a store; returns the time the core can continue (stalls if full)."""
+        self.drain_completed(now)
+        stall_until = now
+        if len(self._pending) >= self.entries:
+            # Core stalls until the oldest store completes.
+            oldest = min(p.completes_at for p in self._pending)
+            stall_until = max(now, oldest)
+            self.drain_completed(stall_until)
+        low, high = AddressDecoder.store_range(instruction)
+        self._pending.append(_PendingStore(low, high, completes_at))
+        return stall_until
+
+    def conflict_delay(self, load_low: int, load_high: int, now: float) -> float:
+        """Extra cycles a scalar load must wait for overlapping MVE stores."""
+        self.drain_completed(now)
+        delay = 0.0
+        for pending in self._pending:
+            if pending.low < load_high and load_low < pending.high:
+                delay = max(delay, pending.completes_at - now)
+        return delay
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._pending)
+
+
+class ScalarCoreModel:
+    """Simple issue-rate model of the OoO scalar core."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.write_buffer = WriteBuffer(config.write_buffer_entries)
+        self.scalar_instructions = 0
+        self.scalar_cycles = 0.0
+
+    def scalar_block_cycles(self, block: ScalarBlock) -> float:
+        """Cycles the core needs to execute a scalar block."""
+        cycles = block.count / self.config.scalar_ipc
+        # Scalar memory operations see at least L1 latency; the OoO window
+        # hides most of it, so charge a small per-access penalty.
+        cycles += (block.loads + block.stores) * 0.5
+        self.scalar_instructions += block.count
+        self.scalar_cycles += cycles
+        return cycles
+
+    def vector_issue_cycles(self) -> float:
+        """Cycles to decode/commit/issue one MVE instruction to the controller."""
+        return self.config.vector_issue_cycles

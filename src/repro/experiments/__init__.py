@@ -1,0 +1,65 @@
+"""Experiment modules: one per table/figure of the paper's evaluation."""
+
+from .runner import ExperimentRunner, KernelRun
+from .tables import (
+    format_table,
+    table1_isa_comparison,
+    table2_instruction_latencies,
+    table3_libraries,
+    table5_area,
+    table5_summary,
+)
+from .figure7 import Figure7Result, LibraryComparison, run_figure7
+from .figure8 import Figure8Result, GpuComparison, run_figure8, FIGURE8_KERNELS
+from .figure9 import Figure9Result, SweepPoint, run_figure9, GEMM_SWEEP, SPMM_SWEEP
+from .figure10 import Figure10Result, RvvComparison, run_figure10, FIGURE10_KERNELS
+from .figure11 import Figure11Result, InstructionMix, run_figure11
+from .figure12 import (
+    Figure12Result,
+    run_figure12,
+    run_figure12a,
+    run_figure12b,
+    run_figure12c,
+    FIGURE12_KERNELS,
+)
+from .figure13 import Figure13Result, SchemeComparison, run_figure13, FIGURE13_KERNELS
+
+__all__ = [
+    "ExperimentRunner",
+    "KernelRun",
+    "format_table",
+    "table1_isa_comparison",
+    "table2_instruction_latencies",
+    "table3_libraries",
+    "table5_area",
+    "table5_summary",
+    "Figure7Result",
+    "LibraryComparison",
+    "run_figure7",
+    "Figure8Result",
+    "GpuComparison",
+    "run_figure8",
+    "FIGURE8_KERNELS",
+    "Figure9Result",
+    "SweepPoint",
+    "run_figure9",
+    "GEMM_SWEEP",
+    "SPMM_SWEEP",
+    "Figure10Result",
+    "RvvComparison",
+    "run_figure10",
+    "FIGURE10_KERNELS",
+    "Figure11Result",
+    "InstructionMix",
+    "run_figure11",
+    "Figure12Result",
+    "run_figure12",
+    "run_figure12a",
+    "run_figure12b",
+    "run_figure12c",
+    "FIGURE12_KERNELS",
+    "Figure13Result",
+    "SchemeComparison",
+    "run_figure13",
+    "FIGURE13_KERNELS",
+]

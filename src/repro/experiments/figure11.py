@@ -1,0 +1,65 @@
+"""Figure 11: dynamic instruction distribution, MVE versus RVV.
+
+This is a different view of the same runs as Figure 10: the per-category
+vector instruction distribution (config / move / memory / arithmetic) and
+the dynamic scalar instruction count, both normalized to RVV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .figure10 import Figure10Result, run_figure10
+from .runner import ExperimentRunner
+
+__all__ = ["InstructionMix", "Figure11Result", "run_figure11"]
+
+
+@dataclass
+class InstructionMix:
+    kernel: str
+    dims: str
+    #: per-category dynamic vector instruction counts
+    mve_counts: dict[str, int]
+    rvv_counts: dict[str, int]
+    mve_scalar: int
+    rvv_scalar: int
+
+    def mve_fraction_of_rvv(self) -> float:
+        """Total MVE vector instructions as a fraction of RVV's."""
+        rvv_total = max(1, sum(self.rvv_counts.values()))
+        return sum(self.mve_counts.values()) / rvv_total
+
+
+@dataclass
+class Figure11Result:
+    kernels: list[InstructionMix]
+    mean_vector_reduction: float
+    mean_scalar_reduction: float
+
+
+def run_figure11(
+    runner: Optional[ExperimentRunner] = None,
+    figure10: Optional[Figure10Result] = None,
+) -> Figure11Result:
+    """Derive the instruction-mix view from the Figure 10 runs."""
+    runner = runner or ExperimentRunner()
+    figure10 = figure10 or run_figure10(runner)
+    rows = []
+    for comparison in figure10.kernels:
+        rows.append(
+            InstructionMix(
+                kernel=comparison.kernel,
+                dims=comparison.dims,
+                mve_counts=comparison.mve_vector_instructions,
+                rvv_counts=comparison.rvv_vector_instructions,
+                mve_scalar=comparison.mve_scalar_instructions,
+                rvv_scalar=comparison.rvv_scalar_instructions,
+            )
+        )
+    return Figure11Result(
+        kernels=rows,
+        mean_vector_reduction=figure10.mean_vector_instruction_reduction,
+        mean_scalar_reduction=figure10.mean_scalar_instruction_reduction,
+    )

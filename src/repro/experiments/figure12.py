@@ -1,0 +1,231 @@
+"""Figure 12: Duality Cache comparison, SRAM-array scalability, precision sweep.
+
+(a) MVE's SIMD model versus the Duality Cache SIMT model.
+(b) Performance scalability when the engine has 8 to 64 SRAM arrays.
+(c) Sensitivity to element precision (fp32 / int32 / fp16 / int16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..baselines.duality_cache import DualityCacheModel
+from ..baselines.neon import NeonModel
+from ..baselines.profile import KernelProfile
+from ..compiler.pipeline import compile_trace
+from ..core.config import MachineConfig, default_config
+from ..core.simulator import simulate_kernel
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from ..memory.flatmem import FlatMemory
+from .runner import ExperimentRunner
+
+__all__ = [
+    "DualityCacheComparison",
+    "ScalabilityPoint",
+    "PrecisionPoint",
+    "Figure12Result",
+    "run_figure12a",
+    "run_figure12b",
+    "run_figure12c",
+    "run_figure12",
+    "FIGURE12_KERNELS",
+]
+
+FIGURE12_KERNELS = ("gemm", "spmm", "fir_v", "fir_s", "fir_l")
+
+_KERNEL_PARAMS = {
+    "gemm": {"scale": 0.5},
+    "spmm": {"scale": 0.5},
+    "fir_v": {"scale": 0.5},
+    "fir_s": {"scale": 0.5},
+    "fir_l": {"scale": 0.5},
+}
+
+
+@dataclass
+class DualityCacheComparison:
+    kernel: str
+    #: Duality Cache / MVE execution time (values > 1 mean MVE is faster)
+    dc_over_mve_time: float
+    dc_breakdown: dict[str, float]
+
+
+@dataclass
+class ScalabilityPoint:
+    kernel: str
+    num_arrays: int
+    #: execution time normalized to the 8-array configuration
+    normalized_time: float
+    breakdown: dict[str, float]
+
+
+@dataclass
+class PrecisionPoint:
+    precision: str
+    #: execution time normalized to fp32
+    normalized_time: float
+    #: MVE speedup over Neon at this precision
+    speedup_over_neon: float
+
+
+@dataclass
+class Figure12Result:
+    duality_cache: list[DualityCacheComparison]
+    scalability: list[ScalabilityPoint]
+    precision: list[PrecisionPoint]
+    mean_dc_slowdown: float
+
+
+def run_figure12a(
+    runner: Optional[ExperimentRunner] = None,
+    kernels: Sequence[str] = FIGURE12_KERNELS,
+) -> list[DualityCacheComparison]:
+    """MVE (SIMD) versus Duality Cache (SIMT) on the same engine."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for name in kernels:
+        params = _KERNEL_PARAMS.get(name, {"scale": 0.5})
+        mve = runner.run_mve(name, **params)
+        kernel = mve.kernel
+        trace = kernel.trace_mve(simd_lanes=runner.config.simd_lanes)
+        compiled = compile_trace(trace)
+        dc_result = DualityCacheModel(config=runner.config).run(compiled.trace)
+        rows.append(
+            DualityCacheComparison(
+                kernel=name,
+                dc_over_mve_time=dc_result.total_cycles / mve.result.total_cycles,
+                dc_breakdown=dc_result.breakdown_fractions(),
+            )
+        )
+    return rows
+
+
+def run_figure12b(
+    runner: Optional[ExperimentRunner] = None,
+    kernels: Sequence[str] = ("gemm", "spmm", "fir_l"),
+    array_counts: Sequence[int] = (8, 16, 32, 64),
+) -> list[ScalabilityPoint]:
+    """Performance scalability with the number of compute SRAM arrays."""
+    runner = runner or ExperimentRunner()
+    points = []
+    for name in kernels:
+        params = _KERNEL_PARAMS.get(name, {"scale": 0.5})
+        baseline_cycles = None
+        for count in array_counts:
+            config = runner.config.with_arrays(count)
+            run = runner.run_mve(name, config=config, **params)
+            if baseline_cycles is None:
+                baseline_cycles = run.result.total_cycles
+            points.append(
+                ScalabilityPoint(
+                    kernel=name,
+                    num_arrays=count,
+                    normalized_time=run.result.total_cycles / baseline_cycles,
+                    breakdown=run.result.breakdown_fractions(),
+                )
+            )
+    return points
+
+
+class _PrecisionSweepKernel:
+    """Synthetic multiply-accumulate kernel parameterised by element type.
+
+    The suite's kernels each have a fixed element type, so the precision
+    sensitivity study uses this small dedicated kernel: an 8K-wide
+    ``out = a * b + c`` stream, the core loop of the FIR/GEMM kernels.
+    """
+
+    ELEMENTS = 32 * 1024
+
+    def __init__(self, dtype: DataType):
+        self.dtype = dtype
+        self.memory = FlatMemory()
+        count = self.ELEMENTS
+        if dtype.is_float:
+            data = np.ones(count, dtype=dtype.numpy_dtype)
+        else:
+            data = np.ones(count, dtype=dtype.numpy_dtype)
+        self.a = self.memory.allocate_array(data, dtype)
+        self.b = self.memory.allocate_array(data, dtype)
+        self.c = self.memory.allocate_array(data, dtype)
+        self.out = self.memory.allocate(dtype, count)
+
+    def trace(self, simd_lanes: int = 8192):
+        machine = MVEMachine(self.memory, simd_lanes=simd_lanes)
+        machine.vsetdimc(1)
+        offset = 0
+        element_bytes = self.dtype.bytes
+        while offset < self.ELEMENTS:
+            tile = min(simd_lanes, self.ELEMENTS - offset)
+            machine.scalar(8)
+            machine.vsetdiml(0, tile)
+            a = machine.vsld(self.dtype, self.a.address + offset * element_bytes, (1,))
+            b = machine.vsld(self.dtype, self.b.address + offset * element_bytes, (1,))
+            c = machine.vsld(self.dtype, self.c.address + offset * element_bytes, (1,))
+            machine.vsst(
+                machine.vadd(machine.vmul(a, b), c),
+                self.out.address + offset * element_bytes,
+                (1,),
+            )
+            offset += tile
+        return machine.trace
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=f"mac_{self.dtype.suffix}",
+            element_bits=self.dtype.bits,
+            is_float=self.dtype.is_float,
+            elements=self.ELEMENTS,
+            ops_per_element={"mac": 1.0},
+            bytes_read=self.ELEMENTS * self.dtype.bytes * 3,
+            bytes_written=self.ELEMENTS * self.dtype.bytes,
+        )
+
+
+def run_figure12c(
+    config: Optional[MachineConfig] = None,
+    precisions: Sequence[DataType] = (
+        DataType.FLOAT32,
+        DataType.INT32,
+        DataType.FLOAT16,
+        DataType.INT16,
+    ),
+) -> list[PrecisionPoint]:
+    """Execution time and Neon-relative speedup at different precisions."""
+    config = config or default_config()
+    neon = NeonModel(config)
+    points = []
+    baseline_time = None
+    for dtype in precisions:
+        kernel = _PrecisionSweepKernel(dtype)
+        result, _ = simulate_kernel(kernel.trace(config.simd_lanes), config=config)
+        neon_result = neon.run(kernel.profile())
+        if baseline_time is None:
+            baseline_time = result.total_cycles
+        points.append(
+            PrecisionPoint(
+                precision=dtype.name,
+                normalized_time=result.total_cycles / baseline_time,
+                speedup_over_neon=neon_result.time_ms / result.time_ms,
+            )
+        )
+    return points
+
+
+def run_figure12(runner: Optional[ExperimentRunner] = None) -> Figure12Result:
+    runner = runner or ExperimentRunner()
+    duality = run_figure12a(runner)
+    scalability = run_figure12b(runner)
+    precision = run_figure12c(runner.config)
+    return Figure12Result(
+        duality_cache=duality,
+        scalability=scalability,
+        precision=precision,
+        mean_dc_slowdown=float(
+            np.exp(np.mean(np.log([row.dc_over_mve_time for row in duality])))
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Figure 13: MVE versus RVV across in-SRAM computing schemes (BS/BH/BP/AC)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..sram.schemes import SCHEME_NAMES
+from .figure10 import kernel_run_parameters
+from .runner import ExperimentRunner
+
+__all__ = ["SchemeComparison", "Figure13Result", "run_figure13", "FIGURE13_KERNELS"]
+
+#: representative kernel subset (one per dimensionality class)
+FIGURE13_KERNELS = ("csum", "gemm", "intra", "dct")
+
+
+@dataclass
+class SchemeComparison:
+    scheme: str
+    #: geometric-mean MVE / RVV execution-time ratio (lower favours MVE)
+    time_ratio: float
+    mve_breakdown: dict[str, float]
+    rvv_breakdown: dict[str, float]
+
+    @property
+    def speedup(self) -> float:
+        return 1.0 / self.time_ratio if self.time_ratio else float("inf")
+
+
+@dataclass
+class Figure13Result:
+    schemes: list[SchemeComparison]
+
+    def speedup_for(self, scheme: str) -> float:
+        for row in self.schemes:
+            if row.scheme == scheme:
+                return row.speedup
+        raise KeyError(scheme)
+
+
+def run_figure13(
+    runner: Optional[ExperimentRunner] = None,
+    kernels: Sequence[str] = FIGURE13_KERNELS,
+    schemes: Sequence[str] = SCHEME_NAMES,
+) -> Figure13Result:
+    runner = runner or ExperimentRunner()
+    rows = []
+    for scheme in schemes:
+        ratios = []
+        mve_fracs = {"idle": [], "compute": [], "data_access": []}
+        rvv_fracs = {"idle": [], "compute": [], "data_access": []}
+        for name in kernels:
+            params = kernel_run_parameters(name)
+            mve = runner.run_mve(name, scheme_name=scheme, **params)
+            rvv = runner.run_rvv(name, scheme_name=scheme, **params)
+            ratios.append(mve.result.total_cycles / rvv.result.total_cycles)
+            for key in mve_fracs:
+                mve_fracs[key].append(mve.result.breakdown_fractions()[key])
+                rvv_fracs[key].append(rvv.result.breakdown_fractions()[key])
+        rows.append(
+            SchemeComparison(
+                scheme=scheme,
+                time_ratio=float(np.exp(np.mean(np.log(ratios)))),
+                mve_breakdown={k: float(np.mean(v)) for k, v in mve_fracs.items()},
+                rvv_breakdown={k: float(np.mean(v)) for k, v in rvv_fracs.items()},
+            )
+        )
+    return Figure13Result(schemes=rows)

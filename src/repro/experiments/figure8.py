@@ -1,0 +1,78 @@
+"""Figure 8: Adreno-class GPU execution time and energy normalized to MVE."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .runner import ExperimentRunner
+
+__all__ = ["GpuComparison", "Figure8Result", "run_figure8", "FIGURE8_KERNELS"]
+
+#: kernels used for the GPU comparison (the paper's CSUM..IDCT selection)
+FIGURE8_KERNELS = (
+    "csum",
+    "lpack",
+    "fir_v",
+    "fir_s",
+    "fir_l",
+    "gemm",
+    "spmm",
+    "satd",
+    "intra",
+    "dct",
+    "idct",
+)
+
+#: per-kernel dataset scales keeping trace lengths manageable
+_KERNEL_SCALES = {"satd": 0.25, "dct": 0.25, "idct": 0.25}
+
+
+@dataclass
+class GpuComparison:
+    kernel: str
+    #: GPU / MVE execution-time ratio including host-to-device data transfer
+    time_ratio_with_transfer: float
+    #: GPU / MVE execution-time ratio for the kernel execution alone
+    time_ratio_kernel_only: float
+    energy_ratio: float
+    gpu_transfer_fraction: float
+
+
+@dataclass
+class Figure8Result:
+    kernels: list[GpuComparison]
+    mean_time_ratio: float
+    mean_kernel_only_ratio: float
+    mean_energy_ratio: float
+
+
+def run_figure8(
+    runner: Optional[ExperimentRunner] = None, scale: float = 0.5
+) -> Figure8Result:
+    """Compare MVE against the mobile-GPU model on the selected kernels."""
+    runner = runner or ExperimentRunner()
+    rows: list[GpuComparison] = []
+    for name in FIGURE8_KERNELS:
+        kernel_scale = _KERNEL_SCALES.get(name, scale)
+        mve = runner.run_mve(name, scale=kernel_scale)
+        gpu = runner.run_gpu(name, scale=kernel_scale)
+        rows.append(
+            GpuComparison(
+                kernel=name,
+                time_ratio_with_transfer=gpu.time_ms / mve.result.time_ms,
+                time_ratio_kernel_only=gpu.kernel_only_time_ms / mve.result.time_ms,
+                energy_ratio=gpu.energy_nj / mve.result.energy_nj,
+                gpu_transfer_fraction=gpu.transfer_time_s / gpu.total_time_s,
+            )
+        )
+    return Figure8Result(
+        kernels=rows,
+        mean_time_ratio=float(np.exp(np.mean(np.log([r.time_ratio_with_transfer for r in rows])))),
+        mean_kernel_only_ratio=float(
+            np.exp(np.mean(np.log([r.time_ratio_kernel_only for r in rows])))
+        ),
+        mean_energy_ratio=float(np.exp(np.mean(np.log([r.energy_ratio for r in rows])))),
+    )

@@ -1,0 +1,131 @@
+"""Shared helpers for the experiment modules (one module per table/figure).
+
+The runner caches simulation results within a process so that experiments
+sharing kernels (e.g. Figures 10 and 11 both need the RVV traces) do not
+re-simulate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines.gpu import GPUModel, GPUResult
+from ..baselines.neon import NeonModel, NeonResult
+from ..core.config import MachineConfig, default_config
+from ..core.results import SimulationResult
+from ..core.simulator import simulate_kernel
+from ..sram.schemes import get_scheme
+from ..workloads import create_kernel
+from ..workloads.base import Kernel
+
+__all__ = ["KernelRun", "ExperimentRunner"]
+
+
+@dataclass
+class KernelRun:
+    """One kernel simulated on one configuration."""
+
+    kernel: Kernel
+    result: SimulationResult
+    spills: int = 0
+
+
+class ExperimentRunner:
+    """Runs kernels on the MVE simulator and the baseline models, with caching."""
+
+    def __init__(self, config: Optional[MachineConfig] = None, default_scale: float = 0.5):
+        self.config = config or default_config()
+        self.default_scale = default_scale
+        self._mve_cache: dict = {}
+        self._rvv_cache: dict = {}
+        self._kernel_cache: dict = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _get_kernel(self, name: str, scale: float, **kwargs) -> Kernel:
+        key = (name, scale, tuple(sorted(kwargs.items())))
+        if key not in self._kernel_cache:
+            kernel = create_kernel(name, scale=scale, **kwargs) if not kwargs else None
+            if kernel is None:
+                from ..workloads import get_kernel_class
+
+                kernel = get_kernel_class(name)(scale=scale, **kwargs)
+            self._kernel_cache[key] = kernel
+        return self._kernel_cache[key]
+
+    def run_mve(
+        self,
+        name: str,
+        scale: Optional[float] = None,
+        config: Optional[MachineConfig] = None,
+        scheme_name: Optional[str] = None,
+        **kernel_kwargs,
+    ) -> KernelRun:
+        """Simulate the MVE implementation of a kernel."""
+        scale = scale if scale is not None else self.default_scale
+        config = config or self.config
+        scheme_name = scheme_name or config.scheme_name
+        key = (
+            name,
+            scale,
+            scheme_name,
+            config.engine.num_arrays,
+            tuple(sorted(kernel_kwargs.items())),
+        )
+        if key not in self._mve_cache:
+            kernel = self._get_kernel(name, scale, **kernel_kwargs)
+            trace = kernel.trace_mve(simd_lanes=config.simd_lanes)
+            result, compiled = simulate_kernel(
+                trace, config=config, scheme=get_scheme(scheme_name)
+            )
+            spills = compiled.spill_count if compiled else 0
+            self._mve_cache[key] = KernelRun(kernel=kernel, result=result, spills=spills)
+        return self._mve_cache[key]
+
+    def run_rvv(
+        self,
+        name: str,
+        scale: Optional[float] = None,
+        config: Optional[MachineConfig] = None,
+        scheme_name: Optional[str] = None,
+        **kernel_kwargs,
+    ) -> KernelRun:
+        """Simulate the 1D (RVV) lowering of a kernel on the same engine."""
+        scale = scale if scale is not None else self.default_scale
+        config = config or self.config
+        scheme_name = scheme_name or config.scheme_name
+        key = (
+            name,
+            scale,
+            scheme_name,
+            config.engine.num_arrays,
+            tuple(sorted(kernel_kwargs.items())),
+        )
+        if key not in self._rvv_cache:
+            kernel = self._get_kernel(name, scale, **kernel_kwargs)
+            trace = kernel.trace_rvv(simd_lanes=config.simd_lanes)
+            result, compiled = simulate_kernel(
+                trace, config=config, scheme=get_scheme(scheme_name)
+            )
+            spills = compiled.spill_count if compiled else 0
+            self._rvv_cache[key] = KernelRun(kernel=kernel, result=result, spills=spills)
+        return self._rvv_cache[key]
+
+    def run_neon(self, name: str, scale: Optional[float] = None, **kernel_kwargs) -> NeonResult:
+        scale = scale if scale is not None else self.default_scale
+        kernel = self._get_kernel(name, scale, **kernel_kwargs)
+        kernel.setup()
+        return NeonModel(self.config).run(kernel.profile())
+
+    def run_gpu(
+        self,
+        name: str,
+        scale: Optional[float] = None,
+        include_transfer: bool = True,
+        **kernel_kwargs,
+    ) -> GPUResult:
+        scale = scale if scale is not None else self.default_scale
+        kernel = self._get_kernel(name, scale, **kernel_kwargs)
+        kernel.setup()
+        return GPUModel().run(kernel.profile(), include_transfer=include_transfer)

@@ -1,0 +1,138 @@
+"""Static table reproductions: Table I, Table II, Table III and Table V."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.area import AreaModel, AreaReport, NEON_AREA_MM2, SCALAR_CORE_AREA_MM2
+from ..isa.datatypes import DataType
+from ..isa.instructions import Opcode
+from ..sram.schemes import BitSerialScheme
+from ..workloads import kernels_in_library, library_info, library_names
+
+__all__ = [
+    "table1_isa_comparison",
+    "table2_instruction_latencies",
+    "table3_libraries",
+    "table5_area",
+    "format_table",
+]
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text table formatting used by the example scripts and benches."""
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def table1_isa_comparison() -> dict[str, dict[str, str]]:
+    """Table I: qualitative ISA feature comparison."""
+    return {
+        "MVE": {
+            "max_vector_length": "infinite",
+            "strided_access": "Flexible 4D",
+            "random_access": "Random base + strided offset",
+            "masked_execution": "Predicate / dimension-level",
+        },
+        "RISC-V RVV": {
+            "max_vector_length": "infinite",
+            "strided_access": "Flexible 1D",
+            "random_access": "Random offset",
+            "masked_execution": "Predicate",
+        },
+        "Arm SVE": {
+            "max_vector_length": "2048 bits",
+            "strided_access": "-",
+            "random_access": "Random base / random offset",
+            "masked_execution": "Predicate",
+        },
+        "NEC": {
+            "max_vector_length": "16384 bits",
+            "strided_access": "Constant 2D",
+            "random_access": "-",
+            "masked_execution": "Predicate",
+        },
+    }
+
+
+@dataclass
+class InstructionLatency:
+    opcode: str
+    category: str
+    latency_32bit: int
+    latency_formula: str
+
+
+def table2_instruction_latencies(element_bits: int = 32) -> list[InstructionLatency]:
+    """Table II: MVE operations with their bit-serial latency (precision n)."""
+    scheme = BitSerialScheme()
+    formulas = {
+        Opcode.SET_DUP: "n",
+        Opcode.SHIFT_IMM: "n",
+        Opcode.ROTATE_IMM: "n",
+        Opcode.SHIFT_REG: "n log n",
+        Opcode.ADD: "n",
+        Opcode.SUB: "2n",
+        Opcode.MUL: "n^2 + 5n",
+        Opcode.MIN: "2n",
+        Opcode.MAX: "2n",
+        Opcode.XOR: "n",
+        Opcode.GT: "n",
+        Opcode.LT: "n",
+        Opcode.EQ: "n",
+        Opcode.COPY: "n",
+        Opcode.CONVERT: "n",
+    }
+    rows = []
+    for opcode, formula in formulas.items():
+        rows.append(
+            InstructionLatency(
+                opcode=opcode.value,
+                category="arithmetic" if opcode not in (Opcode.COPY, Opcode.CONVERT) else "move",
+                latency_32bit=scheme.op_latency(opcode, element_bits),
+                latency_formula=formula,
+            )
+        )
+    return rows
+
+
+def table3_libraries() -> list[dict[str, object]]:
+    """Table III: evaluated libraries, their domains and kernel counts."""
+    rows = []
+    for library in library_names():
+        domain, dims = library_info(library)
+        kernels = kernels_in_library(library)
+        rows.append(
+            {
+                "library": library,
+                "domain": domain,
+                "dims": dims,
+                "num_kernels": len(kernels),
+                "kernels": kernels,
+            }
+        )
+    return rows
+
+
+def table5_area(num_arrays: int = 32, arrays_per_cb: int = 4) -> AreaReport:
+    """Table V: MVE module areas and overhead to the scalar core."""
+    return AreaModel(num_arrays=num_arrays, arrays_per_control_block=arrays_per_cb).report()
+
+
+def table5_summary() -> dict[str, float]:
+    report = table5_area()
+    return {
+        "mve_total_mm2": report.total_mm2,
+        "mve_overhead_percent": report.overhead_percent,
+        "neon_overhead_percent": 100.0 * NEON_AREA_MM2 / SCALAR_CORE_AREA_MM2,
+        "scalar_core_mm2": SCALAR_CORE_AREA_MM2,
+    }

@@ -1,0 +1,6 @@
+"""Functional MVE intrinsic library and trace recorder."""
+
+from .mdv import MDV
+from .machine import MVEMachine, TraceStats
+
+__all__ = ["MDV", "MVEMachine", "TraceStats"]

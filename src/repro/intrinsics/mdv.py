@@ -1,0 +1,57 @@
+"""Multi-Dimensional Variable (``__mdv``) handles.
+
+In the paper's C/C++ programming model, MVE values are declared as ``__mdv``
+variables concatenated with a data-type suffix (``__mdvdw``, ``__mdvf``,
+...).  Here an :class:`MDV` is the Python equivalent: a handle to a virtual
+vector register produced by the functional machine.  It carries the element
+type, the logical shape it was created under, and (for the functional
+simulator) the concrete element values laid out in SIMD-lane order
+(dimension 0 fastest-varying).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..isa.datatypes import DataType
+from ..isa.registers import VectorShape
+
+__all__ = ["MDV"]
+
+
+@dataclass
+class MDV:
+    """A virtual multi-dimensional vector register value."""
+
+    register: int
+    dtype: DataType
+    shape: VectorShape
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=self.dtype.numpy_dtype).reshape(-1)
+        if self.values.size != self.shape.total_elements:
+            raise ValueError(
+                f"value count {self.values.size} does not match shape "
+                f"{self.shape.lengths} ({self.shape.total_elements} elements)"
+            )
+
+    @property
+    def total_elements(self) -> int:
+        return self.shape.total_elements
+
+    def as_ndarray(self) -> np.ndarray:
+        """Values reshaped to the logical dimensions (highest dimension first)."""
+        return self.values.reshape(tuple(reversed(self.shape.lengths)))
+
+    def lane(self, *indices: int) -> np.generic:
+        """Element at a multi-dimensional logical index (dim 0 first)."""
+        return self.values[self.shape.flatten_index(indices)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MDV(v{self.register}, {self.dtype.name}, shape={self.shape.lengths}, "
+            f"n={self.total_elements})"
+        )

@@ -1,0 +1,93 @@
+"""MVE data types.
+
+The MVE ISA (Table II of the paper) supports 8/16/32/64-bit signed and
+unsigned integers and 16/32-bit floating point values.  Each type is denoted
+by an assembly suffix (``b``, ``w``, ``dw``, ``qw``, ``hf``, ``f``) that is
+appended to intrinsic names, e.g. ``vadd_dw`` or ``vsld_b``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DataType", "DTypeInfo", "DTYPE_INFO", "parse_suffix"]
+
+
+class DataType(enum.Enum):
+    """Element types supported by MVE instructions."""
+
+    INT8 = "b"
+    UINT8 = "ub"
+    INT16 = "w"
+    UINT16 = "uw"
+    INT32 = "dw"
+    UINT32 = "udw"
+    INT64 = "qw"
+    UINT64 = "uqw"
+    FLOAT16 = "hf"
+    FLOAT32 = "f"
+
+    @property
+    def suffix(self) -> str:
+        """Assembly suffix used in intrinsic names (e.g. ``dw`` in ``vadd_dw``)."""
+        return self.value
+
+    @property
+    def bits(self) -> int:
+        return DTYPE_INFO[self].bits
+
+    @property
+    def bytes(self) -> int:
+        return DTYPE_INFO[self].bits // 8
+
+    @property
+    def is_float(self) -> bool:
+        return DTYPE_INFO[self].is_float
+
+    @property
+    def is_signed(self) -> bool:
+        return DTYPE_INFO[self].is_signed
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return DTYPE_INFO[self].numpy_dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DataType.{self.name}"
+
+
+@dataclass(frozen=True)
+class DTypeInfo:
+    """Static properties of a :class:`DataType`."""
+
+    bits: int
+    is_float: bool
+    is_signed: bool
+    numpy_dtype: np.dtype
+
+
+DTYPE_INFO = {
+    DataType.INT8: DTypeInfo(8, False, True, np.dtype(np.int8)),
+    DataType.UINT8: DTypeInfo(8, False, False, np.dtype(np.uint8)),
+    DataType.INT16: DTypeInfo(16, False, True, np.dtype(np.int16)),
+    DataType.UINT16: DTypeInfo(16, False, False, np.dtype(np.uint16)),
+    DataType.INT32: DTypeInfo(32, False, True, np.dtype(np.int32)),
+    DataType.UINT32: DTypeInfo(32, False, False, np.dtype(np.uint32)),
+    DataType.INT64: DTypeInfo(64, False, True, np.dtype(np.int64)),
+    DataType.UINT64: DTypeInfo(64, False, False, np.dtype(np.uint64)),
+    DataType.FLOAT16: DTypeInfo(16, True, True, np.dtype(np.float16)),
+    DataType.FLOAT32: DTypeInfo(32, True, True, np.dtype(np.float32)),
+}
+
+_SUFFIX_MAP = {dt.value: dt for dt in DataType}
+
+
+def parse_suffix(suffix: str) -> DataType:
+    """Return the :class:`DataType` for an assembly suffix such as ``"dw"``."""
+    try:
+        return _SUFFIX_MAP[suffix]
+    except KeyError:
+        raise ValueError(f"unknown MVE data type suffix: {suffix!r}") from None

@@ -1,0 +1,83 @@
+"""Stride-mode encoding for multi-dimensional memory accesses.
+
+Section III-C of the paper: instead of encoding an absolute 16-bit stride per
+dimension, MVE encodes a 2-bit *stride mode* per dimension.
+
+======  ==================================================================
+Mode    Meaning
+======  ==================================================================
+0       stride of 0 (replication across this dimension)
+1       stride of 1 element (sequential access)
+2       sequential across the lower dimension: ``S_i = S_{i-1} * Len_{i-1}``
+3       stride taken from the per-dimension load/store stride control
+        register (set by ``vsetldstr`` / ``vsetststr``)
+======  ==================================================================
+
+Strides are expressed in *elements*; the address generator multiplies by the
+element size in bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+__all__ = ["StrideMode", "resolve_strides", "MAX_DIMS"]
+
+#: MVE supports at most four dimensions (Section III-B).
+MAX_DIMS = 4
+
+
+class StrideMode(enum.IntEnum):
+    """2-bit per-dimension stride mode."""
+
+    ZERO = 0
+    ONE = 1
+    SEQUENTIAL = 2
+    REGISTER = 3
+
+
+def resolve_strides(
+    modes: Sequence[int],
+    dim_lengths: Sequence[int],
+    stride_registers: Sequence[int],
+) -> list[int]:
+    """Resolve per-dimension stride modes into element strides.
+
+    Parameters
+    ----------
+    modes:
+        One stride mode per dimension (dimension 0 first).  Entries may be
+        :class:`StrideMode` members or plain integers 0-3.
+    dim_lengths:
+        Configured dimension lengths (``Dim[i].Length`` control registers).
+    stride_registers:
+        Per-dimension stride control registers used by mode 3.
+
+    Returns
+    -------
+    list[int]
+        The stride, in elements, for each dimension.
+    """
+    if len(modes) > MAX_DIMS:
+        raise ValueError(f"at most {MAX_DIMS} dimensions are supported, got {len(modes)}")
+    if len(modes) > len(dim_lengths):
+        raise ValueError("more stride modes than configured dimensions")
+
+    strides: list[int] = []
+    for i, raw_mode in enumerate(modes):
+        mode = StrideMode(raw_mode)
+        if mode is StrideMode.ZERO:
+            stride = 0
+        elif mode is StrideMode.ONE:
+            stride = 1
+        elif mode is StrideMode.SEQUENTIAL:
+            if i == 0:
+                # For the innermost dimension "sequential" degenerates to 1.
+                stride = 1
+            else:
+                stride = strides[i - 1] * dim_lengths[i - 1]
+        else:  # StrideMode.REGISTER
+            stride = stride_registers[i]
+        strides.append(stride)
+    return strides

@@ -1,0 +1,26 @@
+"""Memory substrates: flat functional memory, DRAM timing, cache hierarchy."""
+
+from .flatmem import Allocation, FlatMemory
+from .dram import DRAMConfig, DRAMModel, DRAMStats
+from .cache import (
+    AccessResult,
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    CacheStats,
+    HierarchyConfig,
+)
+
+__all__ = [
+    "Allocation",
+    "FlatMemory",
+    "DRAMConfig",
+    "DRAMModel",
+    "DRAMStats",
+    "AccessResult",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "HierarchyConfig",
+]

@@ -1,0 +1,300 @@
+"""Set-associative cache hierarchy model (Table IV configuration).
+
+The hierarchy mirrors the Snapdragon 855 prime-core configuration the paper
+evaluates against: 64 KB L1-D, a 512 KB private inclusive L2 (half of which
+can be repurposed for in-cache computing) and a 2 MB shared LLC, backed by
+the DRAM model.  Each level tracks hit/miss statistics and models a limited
+number of Miss Status Holding Registers (MSHRs) which bound the memory-level
+parallelism available to wide vector gathers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .dram import DRAMModel
+
+__all__ = ["CacheConfig", "Cache", "CacheStats", "CacheHierarchy", "AccessResult"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    hit_latency: int = 4
+    mshr_entries: int = 20
+    inclusive: bool = True
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.ways * self.line_bytes)
+        if sets <= 0:
+            raise ValueError(f"cache {self.name} too small for {self.ways} ways")
+        return sets
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single cache-line access through the hierarchy."""
+
+    latency: int
+    hit_level: str
+
+
+class _Line:
+    __slots__ = ("tag", "valid", "dirty", "present_in_l1", "lru")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.present_in_l1 = False
+        self.lru = 0
+
+
+class Cache:
+    """One set-associative, write-back, LRU cache level."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._sets = [[_Line() for _ in range(config.ways)] for _ in range(config.num_sets)]
+        self._tick = 0
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+        for cache_set in self._sets:
+            for line in cache_set:
+                line.valid = False
+                line.dirty = False
+                line.present_in_l1 = False
+        self._tick = 0
+
+    def _index_tag(self, address: int) -> tuple[int, int]:
+        line_addr = address // self.config.line_bytes
+        return line_addr % self.config.num_sets, line_addr // self.config.num_sets
+
+    def lookup(self, address: int) -> Optional[_Line]:
+        """Return the resident line for ``address`` without updating stats."""
+        index, tag = self._index_tag(address)
+        for line in self._sets[index]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def probe(self, address: int) -> bool:
+        """True if the line holding ``address`` is resident."""
+        return self.lookup(address) is not None
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access one cache line; returns True on hit.
+
+        On a miss the line is installed (the caller models the fill latency
+        through the next level).
+        """
+        self._tick += 1
+        index, tag = self._index_tag(address)
+        cache_set = self._sets[index]
+        for line in cache_set:
+            if line.valid and line.tag == tag:
+                line.lru = self._tick
+                if is_write:
+                    line.dirty = True
+                self.stats.hits += 1
+                return True
+        self.stats.misses += 1
+        victim = min(cache_set, key=lambda candidate: candidate.lru)
+        if victim.valid:
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = is_write
+        victim.present_in_l1 = False
+        victim.lru = self._tick
+        return False
+
+    def mark_present_in_l1(self, address: int, present: bool = True) -> None:
+        line = self.lookup(address)
+        if line is not None:
+            line.present_in_l1 = present
+
+    def present_in_l1(self, address: int) -> bool:
+        line = self.lookup(address)
+        return bool(line and line.present_in_l1)
+
+    def dirty_line_count(self) -> int:
+        return sum(
+            1 for cache_set in self._sets for line in cache_set if line.valid and line.dirty
+        )
+
+    def valid_line_count(self) -> int:
+        return sum(1 for cache_set in self._sets for line in cache_set if line.valid)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache-hierarchy configuration (defaults follow Table IV)."""
+
+    l1d: CacheConfig = CacheConfig(
+        name="L1-D", size_bytes=64 * 1024, ways=4, hit_latency=4, mshr_entries=20
+    )
+    l2: CacheConfig = CacheConfig(
+        name="L2", size_bytes=512 * 1024, ways=8, hit_latency=12, mshr_entries=46
+    )
+    llc: CacheConfig = CacheConfig(
+        name="LLC", size_bytes=2 * 1024 * 1024, ways=8, hit_latency=31, mshr_entries=64
+    )
+
+
+class CacheHierarchy:
+    """L1-D / private L2 / shared LLC backed by DRAM.
+
+    ``l2_compute_ways`` of the L2 are repurposed for in-cache computing
+    (default: half), which halves the cache capacity available to normal
+    lookups while MVE is active.
+    """
+
+    def __init__(
+        self,
+        config: HierarchyConfig | None = None,
+        dram: DRAMModel | None = None,
+        l2_compute_ways: int = 4,
+    ):
+        self.config = config or HierarchyConfig()
+        self.dram = dram or DRAMModel()
+        self.l2_compute_ways = l2_compute_ways
+
+        l2_cfg = self.config.l2
+        storage_ways = max(1, l2_cfg.ways - l2_compute_ways)
+        l2_storage_cfg = CacheConfig(
+            name=l2_cfg.name,
+            size_bytes=l2_cfg.size_bytes * storage_ways // l2_cfg.ways,
+            ways=storage_ways,
+            line_bytes=l2_cfg.line_bytes,
+            hit_latency=l2_cfg.hit_latency,
+            mshr_entries=l2_cfg.mshr_entries,
+            inclusive=l2_cfg.inclusive,
+        )
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(l2_storage_cfg)
+        self.llc = Cache(self.config.llc)
+
+    def reset(self) -> None:
+        self.l1d.reset()
+        self.l2.reset()
+        self.llc.reset()
+        self.dram.reset()
+
+    def reset_stats(self) -> None:
+        """Clear statistics while keeping cache contents (warm-cache runs)."""
+        self.l1d.stats = CacheStats()
+        self.l2.stats = CacheStats()
+        self.llc.stats = CacheStats()
+        self.dram.stats = type(self.dram.stats)()
+
+    @property
+    def line_bytes(self) -> int:
+        return self.config.l1d.line_bytes
+
+    def core_access(self, address: int, is_write: bool = False) -> AccessResult:
+        """A scalar-core access that goes through L1 first."""
+        latency = self.config.l1d.hit_latency
+        if self.l1d.access(address, is_write):
+            return AccessResult(latency, "L1-D")
+        result = self.l2_access(address, is_write, from_core=True)
+        return AccessResult(latency + result.latency, result.hit_level)
+
+    def l2_access(self, address: int, is_write: bool = False, from_core: bool = False) -> AccessResult:
+        """An access that starts at the L2 (used by the MVE controller).
+
+        When the access originates from the in-cache engine (``from_core``
+        False) and the line is present in the L1, the inclusive presence bit
+        forces an L1 eviction to preserve coherency (Section V-C); the
+        eviction cost is folded into the returned latency.
+        """
+        latency = self.config.l2.hit_latency
+        coherence_penalty = 0
+        if not from_core and self.l2.present_in_l1(address):
+            coherence_penalty = self.config.l1d.hit_latency
+            self.l2.mark_present_in_l1(address, False)
+        if self.l2.access(address, is_write):
+            if from_core:
+                self.l2.mark_present_in_l1(address, True)
+            return AccessResult(latency + coherence_penalty, "L2")
+        latency += self.config.llc.hit_latency
+        if self.llc.access(address, is_write):
+            if from_core:
+                self.l2.mark_present_in_l1(address, True)
+            return AccessResult(latency + coherence_penalty, "LLC")
+        latency += self.dram.access(address, is_write, self.line_bytes)
+        if from_core:
+            self.l2.mark_present_in_l1(address, True)
+        return AccessResult(latency + coherence_penalty, "DRAM")
+
+    #: cache lines the L2 can hand to the TMU per cycle once streaming
+    #: (the compute half reads whole 64 B lines bank-parallel)
+    VECTOR_LINES_PER_CYCLE = 2
+
+    def vector_block_access(
+        self, line_addresses: Iterable[int], is_write: bool = False
+    ) -> int:
+        """Access a set of cache lines on behalf of one vector memory op.
+
+        Hits stream at :data:`VECTOR_LINES_PER_CYCLE`; misses overlap up to
+        the L2 MSHR count.  The returned value is the estimated cycles until
+        all lines are available at the Transpose Memory Unit's input.
+        """
+        lines = list(dict.fromkeys(line_addresses))
+        if not lines:
+            return 0
+        mshrs = self.config.l2.mshr_entries
+        hit_latency = self.config.l2.hit_latency
+        hit_count = 0
+        miss_latencies: list[int] = []
+        for line_addr in lines:
+            result = self.l2_access(line_addr, is_write, from_core=False)
+            if result.hit_level == "L2":
+                hit_count += 1
+            else:
+                miss_latencies.append(result.latency)
+        # Hits stream bank-parallel after the initial access latency.
+        hit_cycles = 0
+        if hit_count:
+            hit_cycles = hit_latency + (hit_count - 1) // self.VECTOR_LINES_PER_CYCLE
+        if not miss_latencies:
+            return hit_cycles
+        # Misses overlap in windows of `mshrs` outstanding requests, but the
+        # aggregate can never beat the DRAM peak bandwidth.
+        miss_cycles = 0.0
+        for start in range(0, len(miss_latencies), mshrs):
+            window = miss_latencies[start : start + mshrs]
+            miss_cycles += max(window) + len(window) // self.VECTOR_LINES_PER_CYCLE
+        bandwidth_floor = self.dram.bandwidth_cycles(len(miss_latencies) * self.line_bytes)
+        return max(hit_cycles, 0) + max(miss_cycles, bandwidth_floor)
+
+    def flush_dirty_cycles(self) -> int:
+        """Cycles to flush dirty L2 lines before entering compute mode."""
+        dirty = self.l2.dirty_line_count()
+        return dirty * (self.config.llc.hit_latency // 2 + 1)

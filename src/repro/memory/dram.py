@@ -1,0 +1,107 @@
+"""A compact DRAM timing model standing in for Ramulator.
+
+The paper injects the simulator's memory accesses into Ramulator to model
+memory latency and bandwidth.  This module provides a bank / row-buffer
+model with the three classic timing parameters (tRCD, tCAS/CL, tRP) plus a
+burst time, and enforces a peak-bandwidth limit, which together capture the
+two DRAM effects that matter for this study: row-hit versus row-miss latency
+and bandwidth saturation under wide vector accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DRAMConfig", "DRAMModel", "DRAMStats"]
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """LPDDR4X-class timing parameters expressed in CPU cycles at 2.8 GHz."""
+
+    num_channels: int = 4
+    num_banks: int = 8
+    row_size_bytes: int = 2048
+    # Latencies in CPU cycles (LPDDR4X-3733: ~15 ns CL, ~18 ns RCD/RP)
+    t_cas: int = 42
+    t_rcd: int = 50
+    t_rp: int = 50
+    burst_bytes: int = 64
+    t_burst: int = 8
+    #: peak bandwidth in bytes per CPU cycle (about 34 GB/s at 2.8 GHz)
+    peak_bytes_per_cycle: float = 12.0
+
+    @property
+    def row_miss_latency(self) -> int:
+        return self.t_rp + self.t_rcd + self.t_cas + self.t_burst
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.t_cas + self.t_burst
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    bytes_transferred: int = 0
+    busy_cycles: float = 0.0
+
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class DRAMModel:
+    """Bank/row-buffer DRAM latency and bandwidth model."""
+
+    def __init__(self, config: DRAMConfig | None = None):
+        self.config = config or DRAMConfig()
+        self.stats = DRAMStats()
+        # open row per (channel, bank)
+        self._open_rows: dict[tuple[int, int], int] = {}
+
+    def reset(self) -> None:
+        self.stats = DRAMStats()
+        self._open_rows.clear()
+
+    def _locate(self, address: int) -> tuple[int, int, int]:
+        cfg = self.config
+        row_number = address // cfg.row_size_bytes
+        channel = (address // cfg.burst_bytes) % cfg.num_channels
+        bank = row_number % cfg.num_banks
+        return channel, bank, row_number
+
+    def access(self, address: int, is_write: bool = False, size_bytes: int = 64) -> int:
+        """Access DRAM and return the latency in CPU cycles.
+
+        ``size_bytes`` accounts for multi-burst transfers of a full cache
+        line or larger vector blocks.
+        """
+        cfg = self.config
+        channel, bank, row = self._locate(address)
+        key = (channel, bank)
+        open_row = self._open_rows.get(key)
+        if open_row == row:
+            latency = cfg.row_hit_latency
+            self.stats.row_hits += 1
+        else:
+            latency = cfg.row_miss_latency
+            self.stats.row_misses += 1
+            self._open_rows[key] = row
+        bursts = max(1, (size_bytes + cfg.burst_bytes - 1) // cfg.burst_bytes)
+        latency += (bursts - 1) * cfg.t_burst
+
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self.stats.bytes_transferred += size_bytes
+        self.stats.busy_cycles += bursts * cfg.t_burst
+        return latency
+
+    def bandwidth_cycles(self, total_bytes: int) -> float:
+        """Minimum cycles needed to move ``total_bytes`` at peak bandwidth."""
+        return total_bytes / self.config.peak_bytes_per_cycle

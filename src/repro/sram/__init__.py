@@ -1,0 +1,27 @@
+"""In-SRAM computing substrate: array geometry, TMU, and compute schemes."""
+
+from .array import EngineGeometry, SramArrayGeometry
+from .schemes import (
+    AssociativeScheme,
+    BitHybridScheme,
+    BitParallelScheme,
+    BitSerialScheme,
+    ComputeScheme,
+    SCHEME_NAMES,
+    get_scheme,
+)
+from .tmu import TMUConfig, TransposeMemoryUnit
+
+__all__ = [
+    "EngineGeometry",
+    "SramArrayGeometry",
+    "AssociativeScheme",
+    "BitHybridScheme",
+    "BitParallelScheme",
+    "BitSerialScheme",
+    "ComputeScheme",
+    "SCHEME_NAMES",
+    "get_scheme",
+    "TMUConfig",
+    "TransposeMemoryUnit",
+]

@@ -1,0 +1,225 @@
+"""boringssl kernels (Cryptography, 1-2D): ChaCha rounds, stream XOR, key mixing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..intrinsics.machine import MVEMachine
+from ..intrinsics.mdv import MDV
+from ..isa.datatypes import DataType
+from ..isa.encoding import StrideMode
+from .base import Kernel, LOOP_SCALAR_OPS, elementwise_1d
+from .registry import register
+
+__all__ = ["ChachaQuarterRoundKernel", "XorStreamKernel", "AddRoundKeyKernel"]
+
+_M0 = int(StrideMode.ZERO)
+_M1 = int(StrideMode.ONE)
+_M2 = int(StrideMode.SEQUENTIAL)
+_M3 = int(StrideMode.REGISTER)
+
+
+@register
+class ChachaQuarterRoundKernel(Kernel):
+    """One ChaCha20 quarter-round applied to many blocks in parallel.
+
+    Each block contributes four 32-bit state words (a, b, c, d) stored in
+    planar layout; the quarter round is the usual add / xor / rotate ladder.
+    """
+
+    name = "chacha_qr"
+    library = "boringssl"
+    dims = "2D"
+    dtype = DataType.UINT32
+    description = "ChaCha20 quarter round over many blocks"
+
+    BASE_BLOCKS = 8 * 1024
+
+    def prepare(self) -> None:
+        self.blocks = max(256, int(self.BASE_BLOCKS * self.scale))
+        state = self.rng.integers(0, 2**32, size=(4, self.blocks), dtype=np.uint64)
+        state = state.astype(np.uint32)
+        self.state = self.memory.allocate_array(state.reshape(-1), self.dtype)
+        self.out = self.memory.allocate(self.dtype, 4 * self.blocks)
+        self._state_ref = state.copy()
+
+    def _quarter_round(self, m: MVEMachine, a: MDV, b: MDV, c: MDV, d: MDV):
+        a = m.vadd(a, b)
+        d = m.vrot_imm(m.vxor(d, a), 16)
+        c = m.vadd(c, d)
+        b = m.vrot_imm(m.vxor(b, c), 12)
+        a = m.vadd(a, b)
+        d = m.vrot_imm(m.vxor(d, a), 8)
+        c = m.vadd(c, d)
+        b = m.vrot_imm(m.vxor(b, c), 7)
+        return a, b, c, d
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        n = self.blocks
+        machine.vsetdimc(1)
+        offset = 0
+        while offset < n:
+            tile = min(lanes, n - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            words = []
+            for w in range(4):
+                words.append(
+                    machine.vsld(self.dtype, self.state.address + (w * n + offset) * 4, (_M1,))
+                )
+            a, b, c, d = self._quarter_round(machine, *words)
+            for w, value in enumerate((a, b, c, d)):
+                machine.vsst(value, self.out.address + (w * n + offset) * 4, (_M1,))
+            offset += tile
+
+    @staticmethod
+    def _rotl(x: np.ndarray, amount: int) -> np.ndarray:
+        x = x.astype(np.uint64) & 0xFFFFFFFF
+        return ((x << amount) | (x >> (32 - amount))) & 0xFFFFFFFF
+
+    def reference(self) -> np.ndarray:
+        a, b, c, d = (w.astype(np.uint64) for w in self._state_ref)
+        a = (a + b) & 0xFFFFFFFF
+        d = self._rotl(d ^ a, 16)
+        c = (c + d) & 0xFFFFFFFF
+        b = self._rotl(b ^ c, 12)
+        a = (a + b) & 0xFFFFFFFF
+        d = self._rotl(d ^ a, 8)
+        c = (c + d) & 0xFFFFFFFF
+        b = self._rotl(b ^ c, 7)
+        return np.stack([a, b, c, d]).astype(np.uint32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.blocks
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=elements,
+            ops_per_element={"add": 4.0, "logic": 4.0, "shift": 4.0},
+            bytes_read=elements * 16,
+            bytes_written=elements * 16,
+            parallelism_1d=elements,
+            dimensions=2,
+        )
+
+
+@register
+class XorStreamKernel(Kernel):
+    """Stream cipher application: ciphertext = plaintext XOR keystream."""
+
+    name = "xor_stream"
+    library = "boringssl"
+    dims = "1D"
+    dtype = DataType.UINT8
+    description = "XOR a plaintext buffer with a keystream"
+
+    BASE_BYTES = 64 * 1024
+
+    def prepare(self) -> None:
+        self.n = max(4096, int(self.BASE_BYTES * self.scale))
+        plaintext = self.rng.integers(0, 255, size=self.n, dtype=np.int64).astype(np.uint8)
+        keystream = self.rng.integers(0, 255, size=self.n, dtype=np.int64).astype(np.uint8)
+        self.plaintext = self.memory.allocate_array(plaintext, self.dtype)
+        self.keystream = self.memory.allocate_array(keystream, self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.n)
+        self._pt_ref, self._ks_ref = plaintext.copy(), keystream.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        elementwise_1d(
+            machine,
+            self.dtype,
+            [self.plaintext.address, self.keystream.address],
+            self.out.address,
+            self.n,
+            lambda m, inputs: m.vxor(inputs[0], inputs[1]),
+        )
+
+    def reference(self) -> np.ndarray:
+        return self._pt_ref ^ self._ks_ref
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=8,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={"logic": 1.0},
+            bytes_read=self.n * 2,
+            bytes_written=self.n,
+            parallelism_1d=self.n,
+            dimensions=1,
+        )
+
+
+@register
+class AddRoundKeyKernel(Kernel):
+    """AES AddRoundKey: XOR a 16-byte round key into many blocks (2D replicate)."""
+
+    name = "add_round_key"
+    library = "boringssl"
+    dims = "2D"
+    dtype = DataType.UINT8
+    description = "XOR a replicated 16-byte round key into AES state blocks"
+
+    BASE_BLOCKS = 4 * 1024
+    BLOCK_BYTES = 16
+
+    def prepare(self) -> None:
+        self.blocks = max(64, int(self.BASE_BLOCKS * self.scale))
+        state = self.rng.integers(0, 255, size=(self.blocks, self.BLOCK_BYTES), dtype=np.int64)
+        key = self.rng.integers(0, 255, size=self.BLOCK_BYTES, dtype=np.int64)
+        self.state = self.memory.allocate_array(state.astype(np.uint8).reshape(-1), self.dtype)
+        self.key = self.memory.allocate_array(key.astype(np.uint8), self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.blocks * self.BLOCK_BYTES)
+        self._state_ref = state.copy()
+        self._key_ref = key.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        blocks_per_tile = max(1, min(self.blocks, machine.simd_lanes // self.BLOCK_BYTES))
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, self.BLOCK_BYTES)
+        start = 0
+        while start < self.blocks:
+            count = min(blocks_per_tile, self.blocks - start)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(1, count)
+            state = machine.vsld(
+                self.dtype, self.state.address + start * self.BLOCK_BYTES, (_M1, _M2)
+            )
+            # The round key is shared by every block (dim1 stride 0).
+            key = machine.vsld(self.dtype, self.key.address, (_M1, _M0))
+            machine.vsst(
+                machine.vxor(state, key),
+                self.out.address + start * self.BLOCK_BYTES,
+                (_M1, _M2),
+            )
+            start += count
+
+    def reference(self) -> np.ndarray:
+        return (self._state_ref ^ self._key_ref[None, :]).astype(np.uint8).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.blocks * self.BLOCK_BYTES
+        return KernelProfile(
+            name=self.name,
+            element_bits=8,
+            is_float=False,
+            elements=elements,
+            ops_per_element={"logic": 1.0},
+            bytes_read=elements + self.BLOCK_BYTES,
+            bytes_written=elements,
+            parallelism_1d=self.BLOCK_BYTES,
+            dimensions=2,
+        )

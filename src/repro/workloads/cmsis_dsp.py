@@ -1,0 +1,228 @@
+"""CMSIS-DSP kernels (Signal Processing, 1D, 192K dataset): FIR filters.
+
+The paper evaluates three FIR variants (FIR-S, FIR-L, FIR-V in Figures 8
+and 12): short and long single-channel filters, plus a multi-channel
+"vector" variant that exposes a second dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..baselines.rvv import RVVEmitter
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from ..isa.encoding import StrideMode
+from .base import Kernel, LOOP_SCALAR_OPS
+from .registry import register
+
+__all__ = ["FirSmallKernel", "FirLargeKernel", "FirMultiChannelKernel"]
+
+
+class _FirBase(Kernel):
+    """Shared implementation of a dense FIR filter ``y[i] = sum_t c[t] x[i+t]``."""
+
+    library = "CMSIS-DSP"
+    dtype = DataType.FLOAT32
+    taps: int = 8
+    BASE_SAMPLES = 16 * 1024
+
+    def prepare(self) -> None:
+        self.n_out = max(1024, int(self.BASE_SAMPLES * self.scale))
+        self.n_in = self.n_out + self.taps - 1
+        signal = self.rng.standard_normal(self.n_in).astype(np.float32)
+        coeffs = self.rng.standard_normal(self.taps).astype(np.float32) / self.taps
+        self.signal = self.memory.allocate_array(signal, self.dtype)
+        self.coeffs = self.memory.allocate_array(coeffs, self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.n_out)
+        self._signal_ref = signal.copy()
+        self._coeffs_ref = coeffs.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        machine.vsetdimc(1)
+        offset = 0
+        while offset < self.n_out:
+            tile = min(lanes, self.n_out - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            acc = machine.vsetdup(self.dtype, 0.0)
+            for tap in range(self.taps):
+                # The core reads the coefficient and broadcasts it.
+                machine.scalar(4, loads=1)
+                coeff = machine.vsetdup(self.dtype, float(self._coeffs_ref[tap]))
+                window = machine.vsld(
+                    self.dtype, self.signal.address + (offset + tap) * 4, (1,)
+                )
+                acc = machine.vadd(acc, machine.vmul(window, coeff))
+            machine.vsst(acc, self.out.address + offset * 4, (1,))
+            offset += tile
+
+    def run_rvv(self, machine: MVEMachine) -> None:
+        emitter = RVVEmitter(machine)
+        lanes = machine.simd_lanes
+        offset = 0
+        while offset < self.n_out:
+            tile = min(lanes, self.n_out - offset)
+            machine.scalar(LOOP_SCALAR_OPS + 2)
+            emitter.set_vector_length(tile)
+            acc = machine.vsetdup(self.dtype, 0.0)
+            for tap in range(self.taps):
+                machine.scalar(4, loads=1)
+                coeff = machine.vsetdup(self.dtype, float(self._coeffs_ref[tap]))
+                window = emitter.load_1d(
+                    self.dtype, self.signal.address + (offset + tap) * 4
+                )
+                acc = machine.vadd(acc, machine.vmul(window, coeff))
+            emitter.store_1d(acc, self.out.address + offset * 4)
+            offset += tile
+
+    def reference(self) -> np.ndarray:
+        out = np.zeros(self.n_out, dtype=np.float64)
+        for tap in range(self.taps):
+            out += self._coeffs_ref[tap].astype(np.float64) * self._signal_ref[
+                tap : tap + self.n_out
+            ].astype(np.float64)
+        return out.astype(np.float32)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=True,
+            elements=self.n_out,
+            ops_per_element={"mac": float(self.taps)},
+            bytes_read=self.n_out * 4 * self.taps + self.taps * 4,
+            bytes_written=self.n_out * 4,
+            parallelism_1d=self.n_out,
+            dimensions=1,
+        )
+
+
+@register
+class FirSmallKernel(_FirBase):
+    """FIR-S: short 8-tap FIR filter."""
+
+    name = "fir_s"
+    dims = "1D"
+    taps = 8
+    description = "8-tap single-channel FIR filter"
+
+
+@register
+class FirLargeKernel(_FirBase):
+    """FIR-L: long 32-tap FIR filter."""
+
+    name = "fir_l"
+    dims = "1D"
+    taps = 32
+    BASE_SAMPLES = 8 * 1024
+    description = "32-tap single-channel FIR filter"
+
+
+@register
+class FirMultiChannelKernel(Kernel):
+    """FIR-V: multi-channel FIR where channels form a second dimension."""
+
+    name = "fir_v"
+    library = "CMSIS-DSP"
+    dims = "2D"
+    dtype = DataType.FLOAT32
+    description = "Multi-channel FIR filter (channels x samples)"
+
+    CHANNELS = 16
+    taps = 8
+    BASE_SAMPLES = 2048
+
+    def prepare(self) -> None:
+        self.n_out = max(256, int(self.BASE_SAMPLES * self.scale))
+        self.n_in = self.n_out + self.taps - 1
+        signal = self.rng.standard_normal((self.CHANNELS, self.n_in)).astype(np.float32)
+        coeffs = self.rng.standard_normal(self.taps).astype(np.float32) / self.taps
+        self.signal = self.memory.allocate_array(signal.reshape(-1), self.dtype)
+        self.coeffs = self.memory.allocate_array(coeffs, self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.CHANNELS * self.n_out)
+        self._signal_ref = signal.copy()
+        self._coeffs_ref = coeffs.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        samples_per_tile = max(1, min(self.n_out, lanes // self.CHANNELS))
+        machine.vsetdimc(2)
+        machine.vsetdiml(1, self.CHANNELS)
+        # Both the input and output matrices are row-major with a row length
+        # that differs from the tile width, so dimension 1 uses stride CRs.
+        machine.vsetldstr(1, self.n_in)
+        machine.vsetststr(1, self.n_out)
+        offset = 0
+        while offset < self.n_out:
+            tile = min(samples_per_tile, self.n_out - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            acc = machine.vsetdup(self.dtype, 0.0)
+            for tap in range(self.taps):
+                machine.scalar(4, loads=1)
+                coeff = machine.vsetdup(self.dtype, float(self._coeffs_ref[tap]))
+                window = machine.vsld(
+                    self.dtype,
+                    self.signal.address + (offset + tap) * 4,
+                    (int(StrideMode.ONE), int(StrideMode.REGISTER)),
+                )
+                acc = machine.vadd(acc, machine.vmul(window, coeff))
+            machine.vsst(
+                acc,
+                self.out.address + offset * 4,
+                (int(StrideMode.ONE), int(StrideMode.REGISTER)),
+            )
+            offset += tile
+
+    def run_rvv(self, machine: MVEMachine) -> None:
+        # A 1D ISA must filter each channel separately: the per-channel
+        # vector length is only `n_out`, far below the 8K lanes.
+        emitter = RVVEmitter(machine)
+        for channel in range(self.CHANNELS):
+            channel_base = self.signal.address + channel * self.n_in * 4
+            out_base = self.out.address + channel * self.n_out * 4
+            offset = 0
+            while offset < self.n_out:
+                tile = min(machine.simd_lanes, self.n_out - offset)
+                machine.scalar(LOOP_SCALAR_OPS + 4)
+                emitter.set_vector_length(tile)
+                acc = machine.vsetdup(self.dtype, 0.0)
+                for tap in range(self.taps):
+                    machine.scalar(4, loads=1)
+                    coeff = machine.vsetdup(self.dtype, float(self._coeffs_ref[tap]))
+                    window = emitter.load_1d(self.dtype, channel_base + (offset + tap) * 4)
+                    acc = machine.vadd(acc, machine.vmul(window, coeff))
+                emitter.store_1d(acc, out_base + offset * 4)
+                offset += tile
+
+    def reference(self) -> np.ndarray:
+        out = np.zeros((self.CHANNELS, self.n_out), dtype=np.float64)
+        for tap in range(self.taps):
+            out += (
+                self._coeffs_ref[tap].astype(np.float64)
+                * self._signal_ref[:, tap : tap + self.n_out].astype(np.float64)
+            )
+        return out.astype(np.float32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.CHANNELS * self.n_out
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=True,
+            elements=elements,
+            ops_per_element={"mac": float(self.taps)},
+            bytes_read=elements * 4 * self.taps + self.taps * 4,
+            bytes_written=elements * 4,
+            parallelism_1d=self.n_out,
+            dimensions=2,
+        )

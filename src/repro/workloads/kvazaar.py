@@ -1,0 +1,543 @@
+"""Kvazaar HEVC kernels (Video Processing, 3D): DCT, IDCT, SATD, Intra.
+
+All four kernels operate on batches of 8x8 blocks, which gives them the
+three-dimensional structure (block, row, column) the paper highlights.  The
+integer transform matrices follow the HEVC specification; SATD uses the
+Hadamard transform of the residual between two blocks, and the intra kernel
+implements the reference-pixel replication pattern of Figure 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..baselines.rvv import RVVEmitter
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from ..isa.encoding import StrideMode
+from .base import Kernel, LOOP_SCALAR_OPS
+from .registry import register
+
+__all__ = ["Dct8Kernel", "Idct8Kernel", "Satd8Kernel", "IntraPredKernel", "HEVC_DCT8"]
+
+_M0 = int(StrideMode.ZERO)
+_M1 = int(StrideMode.ONE)
+_M2 = int(StrideMode.SEQUENTIAL)
+_M3 = int(StrideMode.REGISTER)
+
+#: HEVC 8-point forward DCT matrix (integer approximation).
+HEVC_DCT8 = np.array(
+    [
+        [64, 64, 64, 64, 64, 64, 64, 64],
+        [89, 75, 50, 18, -18, -50, -75, -89],
+        [83, 36, -36, -83, -83, -36, 36, 83],
+        [75, -18, -89, -50, 50, 89, 18, -75],
+        [64, -64, -64, 64, 64, -64, -64, 64],
+        [50, -89, 18, 75, -75, -18, 89, 50],
+        [36, -83, 83, -36, -36, 83, -83, 36],
+        [18, 50, -75, 89, -89, 75, -50, 18],
+    ],
+    dtype=np.int64,
+)
+
+#: 8-point Hadamard matrix used by SATD.
+HADAMARD8 = np.array(
+    [
+        [1, 1, 1, 1, 1, 1, 1, 1],
+        [1, -1, 1, -1, 1, -1, 1, -1],
+        [1, 1, -1, -1, 1, 1, -1, -1],
+        [1, -1, -1, 1, 1, -1, -1, 1],
+        [1, 1, 1, 1, -1, -1, -1, -1],
+        [1, -1, 1, -1, -1, 1, -1, 1],
+        [1, 1, -1, -1, -1, -1, 1, 1],
+        [1, -1, -1, 1, -1, 1, 1, -1],
+    ],
+    dtype=np.int64,
+)
+
+_BLOCK = 8
+_BLOCK_ELEMS = _BLOCK * _BLOCK
+
+
+class _BlockTransformMixin:
+    """Shared two-stage 8x8 block transform: ``out = L @ X @ R^T``.
+
+    Stage 1 computes ``tmp[b,u,j] = sum_i L[u,i] * X[b,i,j]`` and stage 2
+    computes ``out[b,u,v] = sum_j R[v,j] * tmp[b,u,j]``; both stages are
+    vectorised across blocks (highest dimension) and one in-block index.
+    """
+
+    def _transform(
+        self,
+        machine: MVEMachine,
+        source_address: int,
+        tmp_address: int,
+        dest_address: int,
+        left: np.ndarray,
+        right: np.ndarray,
+        blocks: int,
+    ) -> None:
+        dtype = DataType.INT32
+        machine.vsetdimc(2)
+        machine.vsetdiml(1, blocks)
+        machine.vsetldstr(1, _BLOCK_ELEMS)
+        machine.vsetststr(1, _BLOCK_ELEMS)
+
+        # Stage 1: vectorised over (j, block); dim0 walks j with stride 1.
+        machine.vsetdiml(0, _BLOCK)
+        for u in range(_BLOCK):
+            machine.scalar(LOOP_SCALAR_OPS)
+            acc = machine.vsetdup(dtype, 0)
+            for i in range(_BLOCK):
+                machine.scalar(3, loads=1)
+                coeff = machine.vsetdup(dtype, int(left[u, i]))
+                x_slice = machine.vsld(
+                    dtype, source_address + i * _BLOCK * 4, (_M1, _M3)
+                )
+                acc = machine.vadd(acc, machine.vmul(x_slice, coeff))
+            machine.vsst(acc, tmp_address + u * _BLOCK * 4, (_M1, _M3))
+
+        # Stage 2: vectorised over (u, block); dim0 walks u with stride 8.
+        machine.vsetldstr(0, _BLOCK)
+        machine.vsetststr(0, _BLOCK)
+        for v in range(_BLOCK):
+            machine.scalar(LOOP_SCALAR_OPS)
+            acc = machine.vsetdup(dtype, 0)
+            for j in range(_BLOCK):
+                machine.scalar(3, loads=1)
+                coeff = machine.vsetdup(dtype, int(right[v, j]))
+                t_slice = machine.vsld(dtype, tmp_address + j * 4, (_M3, _M3))
+                acc = machine.vadd(acc, machine.vmul(t_slice, coeff))
+            machine.vsst(acc, dest_address + v * 4, (_M3, _M3))
+        # Restore default dim-0 strides for later phases.
+        machine.vsetldstr(0, 1)
+        machine.vsetststr(0, 1)
+
+    def _transform_rvv(
+        self,
+        machine: MVEMachine,
+        emitter: RVVEmitter,
+        source_address: int,
+        tmp_address: int,
+        dest_address: int,
+        left: np.ndarray,
+        right: np.ndarray,
+        blocks: int,
+    ) -> None:
+        """1D lowering: each packed register is built from 8 strided segments.
+
+        The best an RVV programmer can do for the (index, block) slices is a
+        strided access per in-block index (stride of one block, 64 elements),
+        masked and packed into the long register -- 8 segments per logical
+        MVE load/store.
+        """
+        dtype = DataType.INT32
+        for u in range(_BLOCK):
+            machine.scalar(LOOP_SCALAR_OPS)
+            emitter.set_vector_length(min(_BLOCK * blocks, machine.simd_lanes))
+            acc = machine.vsetdup(dtype, 0)
+            for i in range(_BLOCK):
+                machine.scalar(3, loads=1)
+                coeff = machine.vsetdup(dtype, int(left[u, i]))
+                x_packed = emitter.load_multidim(
+                    dtype,
+                    source_address + i * _BLOCK * 4,
+                    blocks,
+                    _BLOCK,
+                    1,
+                    _BLOCK_ELEMS,
+                )
+                acc = machine.vadd(acc, machine.vmul(x_packed, coeff))
+            emitter.store_multidim(
+                acc, tmp_address + u * _BLOCK * 4, blocks, _BLOCK, 1, _BLOCK_ELEMS
+            )
+        for v in range(_BLOCK):
+            machine.scalar(LOOP_SCALAR_OPS)
+            emitter.set_vector_length(min(_BLOCK * blocks, machine.simd_lanes))
+            acc = machine.vsetdup(dtype, 0)
+            for j in range(_BLOCK):
+                machine.scalar(3, loads=1)
+                coeff = machine.vsetdup(dtype, int(right[v, j]))
+                t_packed = emitter.load_multidim(
+                    dtype,
+                    tmp_address + j * 4,
+                    blocks,
+                    _BLOCK,
+                    _BLOCK,
+                    _BLOCK_ELEMS,
+                )
+                acc = machine.vadd(acc, machine.vmul(t_packed, coeff))
+            emitter.store_multidim(
+                acc, dest_address + v * 4, blocks, _BLOCK, _BLOCK, _BLOCK_ELEMS
+            )
+
+
+class _DctBase(_BlockTransformMixin, Kernel):
+    """Common setup for the forward and inverse block transforms."""
+
+    library = "Kvazaar"
+    dims = "3D"
+    dtype = DataType.INT32
+    BASE_BLOCKS = 1024
+    #: left/right transform matrices, set by subclasses
+    LEFT: np.ndarray = HEVC_DCT8
+    RIGHT: np.ndarray = HEVC_DCT8
+
+    def prepare(self) -> None:
+        self.blocks = max(2, int(self.BASE_BLOCKS * self.scale))
+        data = self.rng.integers(-255, 255, size=(self.blocks, _BLOCK, _BLOCK), dtype=np.int64)
+        data = data.astype(np.int32)
+        self.input = self.memory.allocate_array(data.reshape(-1), self.dtype)
+        self.tmp = self.memory.allocate(self.dtype, self.blocks * _BLOCK_ELEMS)
+        self.out = self.memory.allocate(self.dtype, self.blocks * _BLOCK_ELEMS)
+        self._input_ref = data.copy()
+
+    def _blocks_per_tile(self, machine: MVEMachine) -> int:
+        return max(1, min(self.blocks, machine.simd_lanes // _BLOCK))
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        per_tile = self._blocks_per_tile(machine)
+        start = 0
+        while start < self.blocks:
+            count = min(per_tile, self.blocks - start)
+            offset = start * _BLOCK_ELEMS * 4
+            self._transform(
+                machine,
+                self.input.address + offset,
+                self.tmp.address + offset,
+                self.out.address + offset,
+                self.LEFT,
+                self.RIGHT,
+                count,
+            )
+            start += count
+
+    def run_rvv(self, machine: MVEMachine) -> None:
+        emitter = RVVEmitter(machine)
+        per_tile = self._blocks_per_tile(machine)
+        start = 0
+        while start < self.blocks:
+            count = min(per_tile, self.blocks - start)
+            offset = start * _BLOCK_ELEMS * 4
+            self._transform_rvv(
+                machine,
+                emitter,
+                self.input.address + offset,
+                self.tmp.address + offset,
+                self.out.address + offset,
+                self.LEFT,
+                self.RIGHT,
+                count,
+            )
+            start += count
+
+    def reference(self) -> np.ndarray:
+        left = self.LEFT.astype(np.int64)
+        right = self.RIGHT.astype(np.int64)
+        result = np.einsum("ui,bij,vj->buv", left, self._input_ref.astype(np.int64), right)
+        return result.astype(np.int32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.blocks * _BLOCK_ELEMS
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=elements,
+            ops_per_element={"mac": 2.0 * _BLOCK},
+            bytes_read=elements * 4 * 2,
+            bytes_written=elements * 4 * 2,
+            parallelism_1d=_BLOCK,
+            dimensions=3,
+        )
+
+
+@register
+class Dct8Kernel(_DctBase):
+    """DCT: forward 8x8 HEVC transform of residual blocks."""
+
+    name = "dct"
+    description = "Forward 8x8 integer DCT over a batch of blocks"
+    LEFT = HEVC_DCT8
+    RIGHT = HEVC_DCT8
+
+
+@register
+class Idct8Kernel(_DctBase):
+    """IDCT: inverse 8x8 HEVC transform."""
+
+    name = "idct"
+    description = "Inverse 8x8 integer DCT over a batch of blocks"
+    LEFT = HEVC_DCT8.T.copy()
+    RIGHT = HEVC_DCT8.T.copy()
+
+
+@register
+class Satd8Kernel(_BlockTransformMixin, Kernel):
+    """SATD: sum of absolute Hadamard-transformed differences per block."""
+
+    name = "satd"
+    library = "Kvazaar"
+    dims = "3D"
+    dtype = DataType.INT32
+    description = "8x8 SATD between original and predicted blocks"
+    BASE_BLOCKS = 1024
+
+    def prepare(self) -> None:
+        self.blocks = max(2, int(self.BASE_BLOCKS * self.scale))
+        org = self.rng.integers(0, 255, size=(self.blocks, _BLOCK, _BLOCK), dtype=np.int64)
+        pred = self.rng.integers(0, 255, size=(self.blocks, _BLOCK, _BLOCK), dtype=np.int64)
+        self.org = self.memory.allocate_array(org.astype(np.int32).reshape(-1), self.dtype)
+        self.pred = self.memory.allocate_array(pred.astype(np.int32).reshape(-1), self.dtype)
+        self.diff = self.memory.allocate(self.dtype, self.blocks * _BLOCK_ELEMS)
+        self.tmp = self.memory.allocate(self.dtype, self.blocks * _BLOCK_ELEMS)
+        self.coeffs = self.memory.allocate(self.dtype, self.blocks * _BLOCK_ELEMS)
+        self.satd = self.memory.allocate(self.dtype, self.blocks)
+        self._org_ref = org.copy()
+        self._pred_ref = pred.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        total_elements = self.blocks * _BLOCK_ELEMS
+
+        # Phase 1: residual org - pred, element-wise over all blocks at once.
+        machine.vsetdimc(1)
+        offset_elems = 0
+        while offset_elems < total_elements:
+            tile = min(lanes, total_elements - offset_elems)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            org = machine.vsld(self.dtype, self.org.address + offset_elems * 4, (_M1,))
+            pred = machine.vsld(self.dtype, self.pred.address + offset_elems * 4, (_M1,))
+            machine.vsst(
+                machine.vsub(org, pred), self.diff.address + offset_elems * 4, (_M1,)
+            )
+            offset_elems += tile
+
+        # Phase 2: Hadamard transform, tiled by lanes // 8 blocks.
+        per_tile = max(1, min(self.blocks, lanes // _BLOCK))
+        start = 0
+        while start < self.blocks:
+            count = min(per_tile, self.blocks - start)
+            offset = start * _BLOCK_ELEMS * 4
+            self._transform(
+                machine,
+                self.diff.address + offset,
+                self.tmp.address + offset,
+                self.coeffs.address + offset,
+                HADAMARD8,
+                HADAMARD8,
+                count,
+            )
+            start += count
+
+        # Phase 3: per-block accumulation of absolute coefficients.
+        acc_tile = max(1, min(self.blocks, lanes))
+        start = 0
+        while start < self.blocks:
+            count = min(acc_tile, self.blocks - start)
+            offset = start * _BLOCK_ELEMS * 4
+            machine.vsetdimc(1)
+            machine.vsetdiml(0, count)
+            machine.vsetldstr(0, _BLOCK_ELEMS)
+            machine.scalar(LOOP_SCALAR_OPS)
+            acc = machine.vsetdup(self.dtype, 0)
+            zero = machine.vsetdup(self.dtype, 0)
+            for position in range(_BLOCK_ELEMS):
+                machine.scalar(2)
+                coeff = machine.vsld(
+                    self.dtype, self.coeffs.address + offset + position * 4, (_M3,)
+                )
+                negated = machine.vsub(zero, coeff)
+                acc = machine.vadd(acc, machine.vmax(coeff, negated))
+            machine.vsetldstr(0, 1)
+            machine.vsst(acc, self.satd.address + start * 4, (_M1,))
+            start += count
+
+    def run_rvv(self, machine: MVEMachine) -> None:
+        emitter = RVVEmitter(machine)
+        lanes = machine.simd_lanes
+        total_elements = self.blocks * _BLOCK_ELEMS
+
+        offset_elems = 0
+        while offset_elems < total_elements:
+            tile = min(lanes, total_elements - offset_elems)
+            machine.scalar(LOOP_SCALAR_OPS)
+            emitter.set_vector_length(tile)
+            org = emitter.load_1d(self.dtype, self.org.address + offset_elems * 4)
+            pred = emitter.load_1d(self.dtype, self.pred.address + offset_elems * 4)
+            emitter.store_1d(machine.vsub(org, pred), self.diff.address + offset_elems * 4)
+            offset_elems += tile
+
+        per_tile = max(1, min(self.blocks, lanes // _BLOCK))
+        start = 0
+        while start < self.blocks:
+            count = min(per_tile, self.blocks - start)
+            offset = start * _BLOCK_ELEMS * 4
+            self._transform_rvv(
+                machine,
+                emitter,
+                self.diff.address + offset,
+                self.tmp.address + offset,
+                self.coeffs.address + offset,
+                HADAMARD8,
+                HADAMARD8,
+                count,
+            )
+            start += count
+
+        acc_tile = max(1, min(self.blocks, lanes))
+        start = 0
+        while start < self.blocks:
+            count = min(acc_tile, self.blocks - start)
+            offset = start * _BLOCK_ELEMS * 4
+            machine.scalar(LOOP_SCALAR_OPS)
+            emitter.set_vector_length(count)
+            acc = machine.vsetdup(self.dtype, 0)
+            zero = machine.vsetdup(self.dtype, 0)
+            for position in range(_BLOCK_ELEMS):
+                machine.scalar(4, loads=1)
+                coeff = emitter.load_1d(
+                    self.dtype, self.coeffs.address + offset + position * 4, _BLOCK_ELEMS
+                )
+                negated = machine.vsub(zero, coeff)
+                acc = machine.vadd(acc, machine.vmax(coeff, negated))
+            emitter.store_1d(acc, self.satd.address + start * 4)
+            start += count
+
+    def reference(self) -> np.ndarray:
+        diff = self._org_ref.astype(np.int64) - self._pred_ref.astype(np.int64)
+        transformed = np.einsum("ui,bij,vj->buv", HADAMARD8, diff, HADAMARD8)
+        return np.abs(transformed).sum(axis=(1, 2)).astype(np.int32)
+
+    def output(self) -> np.ndarray:
+        return self.satd.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.blocks * _BLOCK_ELEMS
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=elements,
+            ops_per_element={"mac": 2.0 * _BLOCK, "sub": 1.0, "abs": 1.0, "add": 1.0},
+            bytes_read=elements * 4 * 3,
+            bytes_written=elements * 4 * 2 + self.blocks * 4,
+            parallelism_1d=_BLOCK,
+            dimensions=3,
+        )
+
+
+@register
+class IntraPredKernel(Kernel):
+    """INTRA: intra-picture prediction from top/left reference pixels."""
+
+    name = "intra"
+    library = "Kvazaar"
+    dims = "3D"
+    dtype = DataType.INT32
+    description = "Intra prediction: blend of replicated top and left references"
+    BASE_BLOCKS = 128
+
+    def prepare(self) -> None:
+        self.blocks = max(2, int(self.BASE_BLOCKS * self.scale))
+        top = self.rng.integers(0, 255, size=(self.blocks, _BLOCK), dtype=np.int64)
+        left = self.rng.integers(0, 255, size=(self.blocks, _BLOCK), dtype=np.int64)
+        self.top = self.memory.allocate_array(top.astype(np.int32).reshape(-1), self.dtype)
+        self.left = self.memory.allocate_array(left.astype(np.int32).reshape(-1), self.dtype)
+        self.pred = self.memory.allocate(self.dtype, self.blocks * _BLOCK_ELEMS)
+        self._top_ref = top.copy()
+        self._left_ref = left.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        per_tile = max(1, min(self.blocks, machine.simd_lanes // _BLOCK_ELEMS))
+        machine.vsetdimc(3)
+        machine.vsetdiml(0, _BLOCK)
+        machine.vsetdiml(1, _BLOCK)
+        machine.vsetldstr(2, _BLOCK)
+        start = 0
+        while start < self.blocks:
+            count = min(per_tile, self.blocks - start)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(2, count)
+            # top[b][x] replicated down the rows (dim1 stride 0).
+            top = machine.vsld(
+                self.dtype, self.top.address + start * _BLOCK * 4, (_M1, _M0, _M3)
+            )
+            # left[b][y] replicated across the columns (dim0 stride 0).
+            left = machine.vsld(
+                self.dtype, self.left.address + start * _BLOCK * 4, (_M0, _M1, _M3)
+            )
+            one = machine.vsetdup(self.dtype, 1)
+            blended = machine.vshr_imm(machine.vadd(machine.vadd(top, left), one), 1)
+            # pred[b][y][x]: dim0 stride 1, dim1 stride 8, dim2 stride 64.
+            machine.vsst(
+                blended, self.pred.address + start * _BLOCK_ELEMS * 4, (_M1, _M2, _M2)
+            )
+            start += count
+
+    def run_rvv(self, machine: MVEMachine) -> None:
+        emitter = RVVEmitter(machine)
+        per_tile = max(1, min(self.blocks, machine.simd_lanes // _BLOCK_ELEMS))
+        start = 0
+        while start < self.blocks:
+            count = min(per_tile, self.blocks - start)
+            # A 1D ISA replicates the references by re-loading each row; each
+            # packed register is built from 8 strided segments (one per
+            # in-block column).
+            for row in range(_BLOCK):
+                machine.scalar(LOOP_SCALAR_OPS)
+                top = emitter.load_multidim(
+                    self.dtype,
+                    self.top.address + start * _BLOCK * 4,
+                    count,
+                    _BLOCK,
+                    1,
+                    _BLOCK,
+                )
+                left = emitter.load_multidim(
+                    self.dtype,
+                    self.left.address + (start * _BLOCK + row) * 4,
+                    count,
+                    _BLOCK,
+                    0,
+                    _BLOCK,
+                )
+                one = machine.vsetdup(self.dtype, 1)
+                blended = machine.vshr_imm(machine.vadd(machine.vadd(top, left), one), 1)
+                emitter.store_multidim(
+                    blended,
+                    self.pred.address + (start * _BLOCK_ELEMS + row * _BLOCK) * 4,
+                    count,
+                    _BLOCK,
+                    1,
+                    _BLOCK_ELEMS,
+                )
+            start += count
+
+    def reference(self) -> np.ndarray:
+        top = self._top_ref[:, None, :].astype(np.int64)
+        left = self._left_ref[:, :, None].astype(np.int64)
+        pred = (top + left + 1) >> 1
+        return pred.astype(np.int32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.pred.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.blocks * _BLOCK_ELEMS
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=elements,
+            ops_per_element={"add": 2.0, "shift": 1.0},
+            bytes_read=self.blocks * _BLOCK * 4 * 2,
+            bytes_written=elements * 4,
+            parallelism_1d=_BLOCK,
+            dimensions=3,
+        )

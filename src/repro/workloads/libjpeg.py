@@ -1,0 +1,268 @@
+"""libjpeg kernels (Image Processing, 2-3D): upsampling, color conversion.
+
+``h2v2_upsample`` reproduces the random-pointer access pattern of Figure 4:
+image rows live at arbitrary addresses (libjpeg allocates them separately),
+so the highest dimension uses random base addresses while the lower
+dimensions replicate each pixel horizontally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from ..isa.encoding import StrideMode
+from .base import Kernel, LOOP_SCALAR_OPS, elementwise_1d
+from .registry import register
+
+__all__ = ["H2V2UpsampleKernel", "YccToRgbKernel", "QuantizeKernel"]
+
+_M0 = int(StrideMode.ZERO)
+_M1 = int(StrideMode.ONE)
+_M2 = int(StrideMode.SEQUENTIAL)
+_M3 = int(StrideMode.REGISTER)
+
+
+@register
+class H2V2UpsampleKernel(Kernel):
+    """h2v2 upsample: replicate each pixel 2x horizontally from random rows."""
+
+    name = "h2v2_upsample"
+    library = "libjpeg"
+    dims = "3D"
+    dtype = DataType.UINT8
+    description = "2x horizontal upsampling with per-row random base pointers"
+
+    BASE_ROWS = 32
+    BASE_COLS = 256
+
+    def prepare(self) -> None:
+        self.rows = max(4, int(self.BASE_ROWS * min(self.scale, 8.0)))
+        self.cols = max(16, int(self.BASE_COLS * self.scale))
+        image = self.rng.integers(0, 255, size=(self.rows, self.cols), dtype=np.int64)
+        image = image.astype(np.uint8)
+        # Rows are allocated at scattered addresses like libjpeg does.
+        self._row_allocs = []
+        row_addresses = []
+        for r in range(self.rows):
+            self.memory.allocate(DataType.UINT8, int(self.rng.integers(16, 128)))
+            alloc = self.memory.allocate_array(image[r], DataType.UINT8)
+            self._row_allocs.append(alloc)
+            row_addresses.append(alloc.address)
+        self.row_pointers = self.memory.allocate_array(
+            np.asarray(row_addresses, dtype=np.uint64), DataType.UINT64
+        )
+        # Output rows are contiguous, each 2x wider.
+        self.out = self.memory.allocate(DataType.UINT8, self.rows * self.cols * 2)
+        self._image_ref = image.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        rows_per_tile = max(1, min(self.rows, machine.simd_lanes // (2 * self.cols)))
+        machine.vsetdimc(3)
+        machine.vsetdiml(0, 2)
+        machine.vsetdiml(1, self.cols)
+        start = 0
+        while start < self.rows:
+            count = min(rows_per_tile, self.rows - start)
+            machine.scalar(LOOP_SCALAR_OPS + count)
+            machine.vsetdiml(2, count)
+            # Random row pointers, pixels sequential, replicated twice.
+            rows_val = machine.vrld(
+                self.dtype, self.row_pointers.address + start * 8, (_M0, _M1)
+            )
+            # Output: dim0 stride 1, dim1 stride 2, dim2 stride 2*cols.
+            machine.vsetststr(1, 2)
+            machine.vsetststr(2, 2 * self.cols)
+            machine.vsst(
+                rows_val, self.out.address + start * 2 * self.cols, (_M1, _M3, _M3)
+            )
+            start += count
+
+    def reference(self) -> np.ndarray:
+        return np.repeat(self._image_ref, 2, axis=1).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.rows * self.cols * 2
+        return KernelProfile(
+            name=self.name,
+            element_bits=8,
+            is_float=False,
+            elements=elements,
+            ops_per_element={},
+            bytes_read=self.rows * self.cols,
+            bytes_written=elements,
+            parallelism_1d=self.cols,
+            dimensions=3,
+        )
+
+
+@register
+class YccToRgbKernel(Kernel):
+    """YCbCr to RGB conversion with fixed-point arithmetic."""
+
+    name = "ycc_to_rgb"
+    library = "libjpeg"
+    dims = "2D"
+    dtype = DataType.INT32
+    description = "Fixed-point YCbCr to RGB color conversion"
+
+    BASE_PIXELS = 32 * 1024
+
+    def prepare(self) -> None:
+        self.n = max(1024, int(self.BASE_PIXELS * self.scale))
+        y = self.rng.integers(0, 255, size=self.n, dtype=np.int64).astype(np.int32)
+        cb = self.rng.integers(0, 255, size=self.n, dtype=np.int64).astype(np.int32)
+        cr = self.rng.integers(0, 255, size=self.n, dtype=np.int64).astype(np.int32)
+        self.y = self.memory.allocate_array(y, self.dtype)
+        self.cb = self.memory.allocate_array(cb, self.dtype)
+        self.cr = self.memory.allocate_array(cr, self.dtype)
+        self.r = self.memory.allocate(self.dtype, self.n)
+        self.g = self.memory.allocate(self.dtype, self.n)
+        self.b = self.memory.allocate(self.dtype, self.n)
+        self._y_ref, self._cb_ref, self._cr_ref = y.copy(), cb.copy(), cr.copy()
+
+    # fixed-point coefficients (x * 65536)
+    _FIX_1_402 = 91881
+    _FIX_0_714 = 46802
+    _FIX_0_344 = 22554
+    _FIX_1_772 = 116130
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        machine.vsetdimc(1)
+        offset = 0
+        while offset < self.n:
+            tile = min(lanes, self.n - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            y = machine.vsld(self.dtype, self.y.address + offset * 4, (_M1,))
+            cb = machine.vsld(self.dtype, self.cb.address + offset * 4, (_M1,))
+            cr = machine.vsld(self.dtype, self.cr.address + offset * 4, (_M1,))
+            half = machine.vsetdup(self.dtype, 128)
+            cb_c = machine.vsub(cb, half)
+            cr_c = machine.vsub(cr, half)
+            r = machine.vadd(
+                y,
+                machine.vshr_imm(
+                    machine.vmul(cr_c, machine.vsetdup(self.dtype, self._FIX_1_402)), 16
+                ),
+            )
+            g = machine.vsub(
+                machine.vsub(
+                    y,
+                    machine.vshr_imm(
+                        machine.vmul(cb_c, machine.vsetdup(self.dtype, self._FIX_0_344)), 16
+                    ),
+                ),
+                machine.vshr_imm(
+                    machine.vmul(cr_c, machine.vsetdup(self.dtype, self._FIX_0_714)), 16
+                ),
+            )
+            b = machine.vadd(
+                y,
+                machine.vshr_imm(
+                    machine.vmul(cb_c, machine.vsetdup(self.dtype, self._FIX_1_772)), 16
+                ),
+            )
+            machine.vsst(r, self.r.address + offset * 4, (_M1,))
+            machine.vsst(g, self.g.address + offset * 4, (_M1,))
+            machine.vsst(b, self.b.address + offset * 4, (_M1,))
+            offset += tile
+
+    def reference(self) -> np.ndarray:
+        y = self._y_ref.astype(np.int64)
+        cb = self._cb_ref.astype(np.int64) - 128
+        cr = self._cr_ref.astype(np.int64) - 128
+        r = y + ((cr * self._FIX_1_402) >> 16)
+        g = y - ((cb * self._FIX_0_344) >> 16) - ((cr * self._FIX_0_714) >> 16)
+        b = y + ((cb * self._FIX_1_772) >> 16)
+        return np.concatenate([r, g, b]).astype(np.int32)
+
+    def output(self) -> np.ndarray:
+        return np.concatenate([self.r.read(), self.g.read(), self.b.read()])
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={"mul": 4.0, "add": 4.0, "sub": 4.0, "shift": 4.0},
+            bytes_read=self.n * 12,
+            bytes_written=self.n * 12,
+            parallelism_1d=self.n,
+            dimensions=2,
+        )
+
+
+@register
+class QuantizeKernel(Kernel):
+    """DCT-coefficient quantisation: divide each coefficient by a table entry."""
+
+    name = "quantize"
+    library = "libjpeg"
+    dims = "2D"
+    dtype = DataType.INT32
+    description = "Per-coefficient quantisation of 8x8 DCT blocks"
+
+    BASE_BLOCKS = 256
+
+    def prepare(self) -> None:
+        self.blocks = max(4, int(self.BASE_BLOCKS * self.scale))
+        coeffs = self.rng.integers(-2048, 2048, size=(self.blocks, 64), dtype=np.int64)
+        qtable = self.rng.integers(1, 64, size=64, dtype=np.int64)
+        self.coeffs = self.memory.allocate_array(coeffs.astype(np.int32).reshape(-1), self.dtype)
+        self.qtable = self.memory.allocate_array(qtable.astype(np.int32), self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.blocks * 64)
+        self._coeffs_ref = coeffs.copy()
+        self._qtable_ref = qtable.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        blocks_per_tile = max(1, min(self.blocks, machine.simd_lanes // 64))
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, 64)
+        machine.vsetldstr(1, 64)
+        machine.vsetststr(1, 64)
+        start = 0
+        while start < self.blocks:
+            count = min(blocks_per_tile, self.blocks - start)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(1, count)
+            coeffs = machine.vsld(
+                self.dtype, self.coeffs.address + start * 64 * 4, (_M1, _M3)
+            )
+            # The quantisation table is shared by every block (dim1 stride 0).
+            qtable = machine.vsld(self.dtype, self.qtable.address, (_M1, _M0))
+            machine.vsst(
+                machine.vdiv(coeffs, qtable),
+                self.out.address + start * 64 * 4,
+                (_M1, _M3),
+            )
+            start += count
+
+    def reference(self) -> np.ndarray:
+        # The in-SRAM divider implements floor division (matching vdiv).
+        quotient = self._coeffs_ref // self._qtable_ref[None, :]
+        return quotient.astype(np.int32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.blocks * 64
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=elements,
+            ops_per_element={"div": 1.0},
+            bytes_read=elements * 4 + 64 * 4,
+            bytes_written=elements * 4,
+            parallelism_1d=64,
+            dimensions=2,
+        )

@@ -1,0 +1,216 @@
+"""libpng kernels (Image Processing, 2-4D): row filters and pixel expansion."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from ..isa.encoding import StrideMode
+from .base import Kernel, LOOP_SCALAR_OPS
+from .registry import register
+
+__all__ = ["FilterUpKernel", "ExpandRgbToRgbaKernel", "Gamma16Kernel"]
+
+_M0 = int(StrideMode.ZERO)
+_M1 = int(StrideMode.ONE)
+_M2 = int(StrideMode.SEQUENTIAL)
+_M3 = int(StrideMode.REGISTER)
+
+
+@register
+class FilterUpKernel(Kernel):
+    """PNG "Up" filter: each row minus the row above it (mod 256)."""
+
+    name = "png_filter_up"
+    library = "libpng"
+    dims = "2D"
+    dtype = DataType.UINT8
+    description = "PNG Up filter applied to all image rows"
+
+    BASE_ROWS = 64
+    BASE_COLS = 512
+
+    def prepare(self) -> None:
+        self.rows = max(4, int(self.BASE_ROWS * min(self.scale, 8.0)))
+        self.cols = max(32, int(self.BASE_COLS * self.scale))
+        image = self.rng.integers(0, 255, size=(self.rows, self.cols), dtype=np.int64)
+        image = image.astype(np.uint8)
+        self.image = self.memory.allocate_array(image.reshape(-1), self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.rows * self.cols)
+        self._image_ref = image.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        # Row 0 is copied; rows 1..N-1 subtract the previous row.  All rows
+        # after the first are processed together as a 2D tile.
+        lanes = machine.simd_lanes
+        cols = self.cols
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, cols)
+        machine.scalar(LOOP_SCALAR_OPS)
+        first = machine.vsld(self.dtype, self.image.address, (_M1,))
+        machine.vsst(first, self.out.address, (_M1,))
+
+        rows_per_tile = max(1, min(self.rows - 1, lanes // cols))
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, cols)
+        machine.vsetldstr(1, cols)
+        machine.vsetststr(1, cols)
+        row = 1
+        while row < self.rows:
+            count = min(rows_per_tile, self.rows - row)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(1, count)
+            current = machine.vsld(self.dtype, self.image.address + row * cols, (_M1, _M3))
+            above = machine.vsld(
+                self.dtype, self.image.address + (row - 1) * cols, (_M1, _M3)
+            )
+            machine.vsst(
+                machine.vsub(current, above), self.out.address + row * cols, (_M1, _M3)
+            )
+            row += count
+
+    def reference(self) -> np.ndarray:
+        out = self._image_ref.copy()
+        out[1:] = (self._image_ref[1:].astype(np.int16) - self._image_ref[:-1]).astype(np.uint8)
+        return out.reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.rows * self.cols
+        return KernelProfile(
+            name=self.name,
+            element_bits=8,
+            is_float=False,
+            elements=elements,
+            ops_per_element={"sub": 1.0},
+            bytes_read=elements * 2,
+            bytes_written=elements,
+            parallelism_1d=self.cols,
+            dimensions=2,
+        )
+
+
+@register
+class ExpandRgbToRgbaKernel(Kernel):
+    """Expand packed RGB pixels to RGBA with a constant alpha (4D pattern)."""
+
+    name = "png_expand_rgba"
+    library = "libpng"
+    dims = "2-4D"
+    dtype = DataType.UINT8
+    description = "RGB to RGBA expansion using strided loads and stores"
+
+    BASE_PIXELS = 16 * 1024
+    ALPHA = 255
+
+    def prepare(self) -> None:
+        self.n_pixels = max(512, int(self.BASE_PIXELS * self.scale))
+        rgb = self.rng.integers(0, 255, size=(self.n_pixels, 3), dtype=np.int64)
+        rgb = rgb.astype(np.uint8)
+        self.rgb = self.memory.allocate_array(rgb.reshape(-1), self.dtype)
+        self.rgba = self.memory.allocate(self.dtype, self.n_pixels * 4)
+        self._rgb_ref = rgb.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        pixels_per_tile = max(1, min(self.n_pixels, machine.simd_lanes))
+        machine.vsetdimc(1)
+        start = 0
+        while start < self.n_pixels:
+            count = min(pixels_per_tile, self.n_pixels - start)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, count)
+            machine.vsetldstr(0, 3)
+            machine.vsetststr(0, 4)
+            for channel in range(3):
+                src = machine.vsld(
+                    self.dtype, self.rgb.address + start * 3 + channel, (_M3,)
+                )
+                machine.vsst(src, self.rgba.address + start * 4 + channel, (_M3,))
+            alpha = machine.vsetdup(self.dtype, np.uint8(self.ALPHA))
+            machine.vsst(alpha, self.rgba.address + start * 4 + 3, (_M3,))
+            start += count
+        machine.vsetldstr(0, 1)
+        machine.vsetststr(0, 1)
+
+    def reference(self) -> np.ndarray:
+        rgba = np.empty((self.n_pixels, 4), dtype=np.uint8)
+        rgba[:, :3] = self._rgb_ref
+        rgba[:, 3] = self.ALPHA
+        return rgba.reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.rgba.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=8,
+            is_float=False,
+            elements=self.n_pixels * 4,
+            ops_per_element={},
+            bytes_read=self.n_pixels * 3,
+            bytes_written=self.n_pixels * 4,
+            parallelism_1d=self.n_pixels,
+            dimensions=2,
+        )
+
+
+@register
+class Gamma16Kernel(Kernel):
+    """Approximate gamma correction on 16-bit samples: ``out = (x * x) >> 16``."""
+
+    name = "png_gamma16"
+    library = "libpng"
+    dims = "2D"
+    dtype = DataType.INT32
+    description = "Square-law gamma approximation on 16-bit samples"
+
+    BASE_SAMPLES = 32 * 1024
+
+    def prepare(self) -> None:
+        self.n = max(1024, int(self.BASE_SAMPLES * self.scale))
+        # Samples are limited to 15 bits so the squared value stays in int32.
+        samples = self.rng.integers(0, 32767, size=self.n, dtype=np.int64).astype(np.int32)
+        self.samples = self.memory.allocate_array(samples, self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.n)
+        self._samples_ref = samples.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        machine.vsetdimc(1)
+        offset = 0
+        while offset < self.n:
+            tile = min(lanes, self.n - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            x = machine.vsld(self.dtype, self.samples.address + offset * 4, (_M1,))
+            machine.vsst(
+                machine.vshr_imm(machine.vmul(x, x), 16),
+                self.out.address + offset * 4,
+                (_M1,),
+            )
+            offset += tile
+
+    def reference(self) -> np.ndarray:
+        x = self._samples_ref.astype(np.int64)
+        return ((x * x) >> 16).astype(np.int32)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={"mul": 1.0, "shift": 1.0},
+            bytes_read=self.n * 4,
+            bytes_written=self.n * 4,
+            parallelism_1d=self.n,
+            dimensions=2,
+        )

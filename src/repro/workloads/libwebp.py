@@ -1,0 +1,217 @@
+"""libwebp kernels (Image Processing, 2-3D): dithering, blending, prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from ..isa.encoding import StrideMode
+from .base import Kernel, LOOP_SCALAR_OPS
+from .registry import register
+
+__all__ = ["DitherKernel", "AlphaBlendKernel", "PredictorAvgKernel"]
+
+_M0 = int(StrideMode.ZERO)
+_M1 = int(StrideMode.ONE)
+_M2 = int(StrideMode.SEQUENTIAL)
+_M3 = int(StrideMode.REGISTER)
+
+
+@register
+class DitherKernel(Kernel):
+    """Ordered dithering: add a replicated 8-entry dither row, then clamp."""
+
+    name = "webp_dither"
+    library = "libwebp"
+    dims = "2D"
+    dtype = DataType.INT32
+    description = "Ordered dithering with a replicated dither kernel row"
+
+    BASE_ROWS = 64
+    COLS = 256
+
+    def prepare(self) -> None:
+        self.rows = max(4, int(self.BASE_ROWS * self.scale))
+        self.cols = self.COLS
+        image = self.rng.integers(0, 255, size=(self.rows, self.cols), dtype=np.int64)
+        dither = self.rng.integers(-8, 8, size=self.cols, dtype=np.int64)
+        self.image = self.memory.allocate_array(image.astype(np.int32).reshape(-1), self.dtype)
+        self.dither = self.memory.allocate_array(dither.astype(np.int32), self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.rows * self.cols)
+        self._image_ref = image.copy()
+        self._dither_ref = dither.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        rows_per_tile = max(1, min(self.rows, machine.simd_lanes // self.cols))
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, self.cols)
+        machine.vsetldstr(1, self.cols)
+        machine.vsetststr(1, self.cols)
+        row = 0
+        while row < self.rows:
+            count = min(rows_per_tile, self.rows - row)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(1, count)
+            pixels = machine.vsld(
+                self.dtype, self.image.address + row * self.cols * 4, (_M1, _M3)
+            )
+            # The dither row is shared by all rows (dim1 stride 0).
+            dither = machine.vsld(self.dtype, self.dither.address, (_M1, _M0))
+            zero = machine.vsetdup(self.dtype, 0)
+            maxval = machine.vsetdup(self.dtype, 255)
+            dithered = machine.vmin(machine.vmax(machine.vadd(pixels, dither), zero), maxval)
+            machine.vsst(dithered, self.out.address + row * self.cols * 4, (_M1, _M3))
+            row += count
+
+    def reference(self) -> np.ndarray:
+        out = np.clip(self._image_ref + self._dither_ref[None, :], 0, 255)
+        return out.astype(np.int32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.rows * self.cols
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=elements,
+            ops_per_element={"add": 1.0, "min": 1.0, "max": 1.0},
+            bytes_read=elements * 4 + self.cols * 4,
+            bytes_written=elements * 4,
+            parallelism_1d=self.cols,
+            dimensions=2,
+        )
+
+
+@register
+class AlphaBlendKernel(Kernel):
+    """Alpha blending: ``dst = (src * a + dst * (255 - a)) >> 8``."""
+
+    name = "webp_alpha_blend"
+    library = "libwebp"
+    dims = "2D"
+    dtype = DataType.INT32
+    description = "Per-pixel alpha blending of two images"
+
+    BASE_PIXELS = 16 * 1024
+
+    def prepare(self) -> None:
+        self.n = max(512, int(self.BASE_PIXELS * self.scale))
+        src = self.rng.integers(0, 255, size=self.n, dtype=np.int64)
+        dst = self.rng.integers(0, 255, size=self.n, dtype=np.int64)
+        alpha = self.rng.integers(0, 255, size=self.n, dtype=np.int64)
+        self.src = self.memory.allocate_array(src.astype(np.int32), self.dtype)
+        self.dst = self.memory.allocate_array(dst.astype(np.int32), self.dtype)
+        self.alpha = self.memory.allocate_array(alpha.astype(np.int32), self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.n)
+        self._src_ref, self._dst_ref, self._alpha_ref = src.copy(), dst.copy(), alpha.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        machine.vsetdimc(1)
+        offset = 0
+        while offset < self.n:
+            tile = min(lanes, self.n - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            src = machine.vsld(self.dtype, self.src.address + offset * 4, (_M1,))
+            dst = machine.vsld(self.dtype, self.dst.address + offset * 4, (_M1,))
+            alpha = machine.vsld(self.dtype, self.alpha.address + offset * 4, (_M1,))
+            inv = machine.vsub(machine.vsetdup(self.dtype, 255), alpha)
+            blended = machine.vshr_imm(
+                machine.vadd(machine.vmul(src, alpha), machine.vmul(dst, inv)), 8
+            )
+            machine.vsst(blended, self.out.address + offset * 4, (_M1,))
+            offset += tile
+
+    def reference(self) -> np.ndarray:
+        blended = (
+            self._src_ref * self._alpha_ref + self._dst_ref * (255 - self._alpha_ref)
+        ) >> 8
+        return blended.astype(np.int32)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={"mul": 2.0, "add": 1.0, "sub": 1.0, "shift": 1.0},
+            bytes_read=self.n * 12,
+            bytes_written=self.n * 4,
+            parallelism_1d=self.n,
+            dimensions=2,
+        )
+
+
+@register
+class PredictorAvgKernel(Kernel):
+    """Lossless predictor: average of the left and top neighbours."""
+
+    name = "webp_pred_avg"
+    library = "libwebp"
+    dims = "3D"
+    dtype = DataType.INT32
+    description = "Average-of-neighbours lossless predictor over image rows"
+
+    BASE_ROWS = 32
+    COLS = 256
+
+    def prepare(self) -> None:
+        self.rows = max(4, int(self.BASE_ROWS * self.scale))
+        self.cols = self.COLS
+        image = self.rng.integers(0, 255, size=(self.rows + 1, self.cols + 1), dtype=np.int64)
+        self.image = self.memory.allocate_array(
+            image.astype(np.int32).reshape(-1), self.dtype
+        )
+        self.out = self.memory.allocate(self.dtype, self.rows * self.cols)
+        self._image_ref = image.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        stride = self.cols + 1
+        rows_per_tile = max(1, min(self.rows, machine.simd_lanes // self.cols))
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, self.cols)
+        machine.vsetldstr(1, stride)
+        machine.vsetststr(1, self.cols)
+        row = 0
+        while row < self.rows:
+            count = min(rows_per_tile, self.rows - row)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(1, count)
+            base = self.image.address + ((row + 1) * stride + 1) * 4
+            left = machine.vsld(self.dtype, base - 4, (_M1, _M3))
+            top = machine.vsld(self.dtype, base - stride * 4, (_M1, _M3))
+            avg = machine.vshr_imm(machine.vadd(left, top), 1)
+            machine.vsst(avg, self.out.address + row * self.cols * 4, (_M1, _M3))
+            row += count
+
+    def reference(self) -> np.ndarray:
+        image = self._image_ref
+        left = image[1:, :-1]
+        top = image[:-1, 1:]
+        return ((left + top) >> 1).astype(np.int32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.rows * self.cols
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=elements,
+            ops_per_element={"add": 1.0, "shift": 1.0},
+            bytes_read=elements * 8,
+            bytes_written=elements * 4,
+            parallelism_1d=self.cols,
+            dimensions=3,
+        )

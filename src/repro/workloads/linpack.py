@@ -1,0 +1,91 @@
+"""Linpack library kernel (Table III: Linear Algebra, 1D, 512K dataset)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..baselines.rvv import RVVEmitter
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from .base import Kernel, LOOP_SCALAR_OPS, elementwise_1d
+from .registry import register
+
+__all__ = ["DaxpyKernel"]
+
+
+@register
+class DaxpyKernel(Kernel):
+    """LPACK: y = alpha * x + y over a long fp32 vector (daxpy)."""
+
+    name = "lpack"
+    library = "Linpack"
+    dims = "1D"
+    dtype = DataType.FLOAT32
+    description = "Linpack daxpy: y = alpha * x + y"
+
+    BASE_ELEMENTS = 64 * 1024
+
+    def prepare(self) -> None:
+        self.n = max(1024, int(self.BASE_ELEMENTS * self.scale))
+        self.alpha = 1.5
+        x = self.rng.standard_normal(self.n).astype(np.float32)
+        y = self.rng.standard_normal(self.n).astype(np.float32)
+        self.x = self.memory.allocate_array(x, self.dtype)
+        self.y = self.memory.allocate_array(y, self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.n)
+        self._x_ref = x.copy()
+        self._y_ref = y.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        alpha = self.alpha
+
+        def op(m: MVEMachine, inputs):
+            x_val, y_val = inputs
+            alpha_val = m.vsetdup(self.dtype, alpha)
+            return m.vadd(m.vmul(x_val, alpha_val), y_val)
+
+        elementwise_1d(
+            machine,
+            self.dtype,
+            [self.x.address, self.y.address],
+            self.out.address,
+            self.n,
+            op,
+        )
+
+    def run_rvv(self, machine: MVEMachine) -> None:
+        # daxpy is purely 1D, so the RVV lowering is nearly identical to the
+        # MVE one; the only extra work is the per-tile mask/length management.
+        emitter = RVVEmitter(machine)
+        lanes = machine.simd_lanes
+        offset = 0
+        while offset < self.n:
+            tile = min(lanes, self.n - offset)
+            machine.scalar(LOOP_SCALAR_OPS + 2)
+            emitter.set_vector_length(tile)
+            x_val = emitter.load_1d(self.dtype, self.x.address + offset * 4)
+            y_val = emitter.load_1d(self.dtype, self.y.address + offset * 4)
+            alpha_val = machine.vsetdup(self.dtype, self.alpha)
+            result = machine.vadd(machine.vmul(x_val, alpha_val), y_val)
+            emitter.store_1d(result, self.out.address + offset * 4)
+            offset += tile
+
+    def reference(self) -> np.ndarray:
+        return (self.alpha * self._x_ref + self._y_ref).astype(np.float32)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=True,
+            elements=self.n,
+            ops_per_element={"mac": 1.0},
+            bytes_read=self.n * 8,
+            bytes_written=self.n * 4,
+            parallelism_1d=self.n,
+            dimensions=1,
+        )

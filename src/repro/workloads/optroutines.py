@@ -1,0 +1,277 @@
+"""Arm Optimized Routines kernels (string/network utilities, 1-2D, 128 KB)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..baselines.rvv import RVVEmitter
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from .base import Kernel, LOOP_SCALAR_OPS, elementwise_1d, tree_reduce
+from .registry import register
+
+__all__ = ["ChecksumKernel", "MemcpyKernel", "MemsetKernel", "CharCountKernel"]
+
+
+@register
+class ChecksumKernel(Kernel):
+    """CSUM: Internet checksum style reduction of 16-bit words."""
+
+    name = "csum"
+    library = "Arm Optimized Routines"
+    dims = "1D"
+    dtype = DataType.INT32
+    description = "Network checksum: sum of 16-bit words with tree reduction"
+
+    BASE_BYTES = 128 * 1024
+
+    def prepare(self) -> None:
+        self.n_words = max(2048, int(self.BASE_BYTES * self.scale) // 2)
+        data = self.rng.integers(0, 255, size=self.n_words, dtype=np.int64).astype(np.int16)
+        self.data = self.memory.allocate_array(data, DataType.INT16)
+        self._data_ref = data.copy()
+        # partial sums after in-cache reduction (up to 256 elements)
+        self.partials = self.memory.allocate(DataType.INT32, 256)
+        self.scratch = self.memory.allocate(DataType.INT32, 8192)
+
+    def _accumulate(self, machine: MVEMachine) -> tuple:
+        """Sum the input into one SIMD-lane-wide accumulator register."""
+        lanes = machine.simd_lanes
+        acc_length = min(lanes, self.n_words)
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, acc_length)
+        acc = machine.vsetdup(DataType.INT32, 0)
+        offset = 0
+        while offset < self.n_words:
+            tile = min(lanes, self.n_words - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            words = machine.vsld(DataType.INT16, self.data.address + offset * 2, (1,))
+            wide = machine.vcvt(words, DataType.INT32)
+            # Accumulate over the full register; short tail tiles are
+            # zero-padded by the functional machine.
+            machine.vsetdiml(0, acc_length)
+            acc = machine.vadd(acc, wide)
+            offset += tile
+        return acc, acc_length
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        acc, length = self._accumulate(machine)
+        reduced, remaining = tree_reduce(machine, acc, length, self.scratch.address)
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, remaining)
+        machine.vsst(reduced, self.partials.address, (1,))
+        # The scalar core finishes the last <=256 additions.
+        machine.scalar(remaining * 2, loads=remaining)
+        self._remaining = remaining
+
+    def run_rvv(self, machine: MVEMachine) -> None:
+        emitter = RVVEmitter(machine)
+        lanes = machine.simd_lanes
+        acc_length = min(lanes, self.n_words)
+        emitter.set_vector_length(acc_length)
+        acc = machine.vsetdup(DataType.INT32, 0)
+        offset = 0
+        while offset < self.n_words:
+            tile = min(lanes, self.n_words - offset)
+            machine.scalar(LOOP_SCALAR_OPS + 2)
+            emitter.set_vector_length(tile)
+            words = emitter.load_1d(DataType.INT16, self.data.address + offset * 2)
+            wide = machine.vcvt(words, DataType.INT32)
+            emitter.set_vector_length(acc_length)
+            acc = machine.vadd(acc, wide)
+            offset += tile
+        length = acc_length
+        reduced, remaining = tree_reduce(machine, acc, length, self.scratch.address)
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, remaining)
+        machine.vsst(reduced, self.partials.address, (1,))
+        machine.scalar(remaining * 2, loads=remaining)
+        self._remaining = remaining
+
+    def reference(self) -> np.ndarray:
+        return np.array([int(self._data_ref.astype(np.int64).sum())], dtype=np.int64)
+
+    def output(self) -> np.ndarray:
+        partials = self.partials.read()[: self._remaining].astype(np.int64)
+        return np.array([int(partials.sum())], dtype=np.int64)
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=16,
+            is_float=False,
+            elements=self.n_words,
+            ops_per_element={"add": 1.0},
+            bytes_read=self.n_words * 2,
+            bytes_written=256 * 4,
+            parallelism_1d=self.n_words,
+            dimensions=1,
+        )
+
+
+@register
+class MemcpyKernel(Kernel):
+    """memcpy: stream bytes from source to destination."""
+
+    name = "memcpy"
+    library = "Arm Optimized Routines"
+    dims = "1D"
+    dtype = DataType.INT8
+    description = "Byte copy of a 128 KB buffer"
+
+    BASE_BYTES = 128 * 1024
+
+    def prepare(self) -> None:
+        self.n = max(4096, int(self.BASE_BYTES * self.scale))
+        src = self.rng.integers(-128, 127, size=self.n, dtype=np.int64).astype(np.int8)
+        self.src = self.memory.allocate_array(src, self.dtype)
+        self.dst = self.memory.allocate(self.dtype, self.n)
+        self._src_ref = src.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        elementwise_1d(
+            machine,
+            self.dtype,
+            [self.src.address],
+            self.dst.address,
+            self.n,
+            lambda m, inputs: inputs[0],
+        )
+
+    def reference(self) -> np.ndarray:
+        return self._src_ref
+
+    def output(self) -> np.ndarray:
+        return self.dst.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=8,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={},
+            bytes_read=self.n,
+            bytes_written=self.n,
+            parallelism_1d=self.n,
+            dimensions=1,
+        )
+
+
+@register
+class MemsetKernel(Kernel):
+    """memset: fill a buffer with a constant byte."""
+
+    name = "memset"
+    library = "Arm Optimized Routines"
+    dims = "1D"
+    dtype = DataType.INT8
+    description = "Fill a 128 KB buffer with a constant"
+
+    BASE_BYTES = 128 * 1024
+    FILL_VALUE = 0x5A
+
+    def prepare(self) -> None:
+        self.n = max(4096, int(self.BASE_BYTES * self.scale))
+        self.dst = self.memory.allocate(self.dtype, self.n)
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        machine.vsetdimc(1)
+        offset = 0
+        while offset < self.n:
+            tile = min(lanes, self.n - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            fill = machine.vsetdup(self.dtype, np.int8(self.FILL_VALUE))
+            machine.vsst(fill, self.dst.address + offset, (1,))
+            offset += tile
+
+    def reference(self) -> np.ndarray:
+        return np.full(self.n, np.int8(self.FILL_VALUE), dtype=np.int8)
+
+    def output(self) -> np.ndarray:
+        return self.dst.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=8,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={},
+            bytes_read=0,
+            bytes_written=self.n,
+            parallelism_1d=self.n,
+            dimensions=1,
+        )
+
+
+@register
+class CharCountKernel(Kernel):
+    """memchr-style scan: count occurrences of a byte in a buffer."""
+
+    name = "charcount"
+    library = "Arm Optimized Routines"
+    dims = "1D"
+    dtype = DataType.INT8
+    description = "Count matching bytes (memchr/strlen-style scan)"
+
+    BASE_BYTES = 64 * 1024
+    NEEDLE = 7
+
+    def prepare(self) -> None:
+        self.n = max(4096, int(self.BASE_BYTES * self.scale))
+        data = self.rng.integers(0, 32, size=self.n, dtype=np.int64).astype(np.int8)
+        self.data = self.memory.allocate_array(data, self.dtype)
+        self._data_ref = data.copy()
+        self.partials = self.memory.allocate(DataType.INT32, 256)
+        self.scratch = self.memory.allocate(DataType.INT32, 8192)
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        acc_length = min(lanes, self.n)
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, acc_length)
+        acc = machine.vsetdup(DataType.INT32, 0)
+        offset = 0
+        while offset < self.n:
+            tile = min(lanes, self.n - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            data = machine.vsld(self.dtype, self.data.address + offset, (1,))
+            needle = machine.vsetdup(self.dtype, np.int8(self.NEEDLE))
+            matches = machine.veq(data, needle)
+            wide = machine.vcvt(matches, DataType.INT32)
+            machine.vsetdiml(0, acc_length)
+            acc = machine.vadd(acc, wide)
+            offset += tile
+        length = acc_length
+        reduced, remaining = tree_reduce(machine, acc, length, self.scratch.address)
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, remaining)
+        machine.vsst(reduced, self.partials.address, (1,))
+        machine.scalar(remaining * 2, loads=remaining)
+        self._remaining = remaining
+
+    def reference(self) -> np.ndarray:
+        return np.array([int((self._data_ref == self.NEEDLE).sum())], dtype=np.int64)
+
+    def output(self) -> np.ndarray:
+        partials = self.partials.read()[: self._remaining].astype(np.int64)
+        return np.array([int(partials.sum())], dtype=np.int64)
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=8,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={"cmp": 1.0, "add": 1.0},
+            bytes_read=self.n,
+            bytes_written=256 * 4,
+            parallelism_1d=self.n,
+            dimensions=1,
+        )

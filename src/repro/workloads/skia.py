@@ -1,0 +1,257 @@
+"""Skia kernels (Graphics, 1-3D): blending, grayscale, fills, box blur."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from ..isa.encoding import StrideMode
+from .base import Kernel, LOOP_SCALAR_OPS, elementwise_1d
+from .registry import register
+
+__all__ = ["SrcOverBlendKernel", "GrayscaleKernel", "Memset32Kernel", "BoxBlurKernel"]
+
+_M0 = int(StrideMode.ZERO)
+_M1 = int(StrideMode.ONE)
+_M3 = int(StrideMode.REGISTER)
+
+
+@register
+class SrcOverBlendKernel(Kernel):
+    """Porter-Duff src-over blending: ``dst = src + dst * (255 - sa) / 255``."""
+
+    name = "skia_srcover"
+    library = "Skia"
+    dims = "1D"
+    dtype = DataType.INT32
+    description = "Src-over alpha compositing of two pixel buffers"
+
+    BASE_PIXELS = 16 * 1024
+
+    def prepare(self) -> None:
+        self.n = max(512, int(self.BASE_PIXELS * self.scale))
+        src = self.rng.integers(0, 255, size=self.n, dtype=np.int64)
+        dst = self.rng.integers(0, 255, size=self.n, dtype=np.int64)
+        src_alpha = self.rng.integers(0, 255, size=self.n, dtype=np.int64)
+        self.src = self.memory.allocate_array(src.astype(np.int32), self.dtype)
+        self.dst = self.memory.allocate_array(dst.astype(np.int32), self.dtype)
+        self.src_alpha = self.memory.allocate_array(src_alpha.astype(np.int32), self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.n)
+        self._src_ref, self._dst_ref, self._sa_ref = src.copy(), dst.copy(), src_alpha.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        def op(m: MVEMachine, inputs):
+            src, dst, alpha = inputs
+            inv = m.vsub(m.vsetdup(self.dtype, 255), alpha)
+            # Divide by 255 is approximated with the usual ">> 8" trick.
+            return m.vadd(src, m.vshr_imm(m.vmul(dst, inv), 8))
+
+        elementwise_1d(
+            machine,
+            self.dtype,
+            [self.src.address, self.dst.address, self.src_alpha.address],
+            self.out.address,
+            self.n,
+            op,
+        )
+
+    def reference(self) -> np.ndarray:
+        inv = 255 - self._sa_ref
+        return (self._src_ref + ((self._dst_ref * inv) >> 8)).astype(np.int32)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={"mul": 1.0, "add": 1.0, "sub": 1.0, "shift": 1.0},
+            bytes_read=self.n * 12,
+            bytes_written=self.n * 4,
+            parallelism_1d=self.n,
+            dimensions=1,
+        )
+
+
+@register
+class GrayscaleKernel(Kernel):
+    """Luminance conversion from planar RGB using fixed-point weights."""
+
+    name = "skia_grayscale"
+    library = "Skia"
+    dims = "2D"
+    dtype = DataType.INT32
+    description = "RGB to grayscale conversion (fixed-point BT.601 weights)"
+
+    BASE_PIXELS = 16 * 1024
+    WR, WG, WB = 77, 151, 28
+
+    def prepare(self) -> None:
+        self.n = max(512, int(self.BASE_PIXELS * self.scale))
+        rgb = self.rng.integers(0, 255, size=(3, self.n), dtype=np.int64)
+        self.rgb = self.memory.allocate_array(rgb.astype(np.int32).reshape(-1), self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.n)
+        self._rgb_ref = rgb.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        machine.vsetdimc(1)
+        offset = 0
+        while offset < self.n:
+            tile = min(lanes, self.n - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            r = machine.vsld(self.dtype, self.rgb.address + offset * 4, (_M1,))
+            g = machine.vsld(self.dtype, self.rgb.address + (self.n + offset) * 4, (_M1,))
+            b = machine.vsld(self.dtype, self.rgb.address + (2 * self.n + offset) * 4, (_M1,))
+            weighted = machine.vadd(
+                machine.vadd(
+                    machine.vmul(r, machine.vsetdup(self.dtype, self.WR)),
+                    machine.vmul(g, machine.vsetdup(self.dtype, self.WG)),
+                ),
+                machine.vmul(b, machine.vsetdup(self.dtype, self.WB)),
+            )
+            machine.vsst(
+                machine.vshr_imm(weighted, 8), self.out.address + offset * 4, (_M1,)
+            )
+            offset += tile
+
+    def reference(self) -> np.ndarray:
+        r, g, b = self._rgb_ref
+        return ((r * self.WR + g * self.WG + b * self.WB) >> 8).astype(np.int32)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={"mul": 3.0, "add": 2.0, "shift": 1.0},
+            bytes_read=self.n * 12,
+            bytes_written=self.n * 4,
+            parallelism_1d=self.n,
+            dimensions=2,
+        )
+
+
+@register
+class Memset32Kernel(Kernel):
+    """sk_memset32: fill a pixel buffer with a constant 32-bit color."""
+
+    name = "skia_memset32"
+    library = "Skia"
+    dims = "1D"
+    dtype = DataType.INT32
+    description = "Fill a 32-bit pixel buffer with a constant color"
+
+    BASE_PIXELS = 32 * 1024
+    COLOR = 0x11223344
+
+    def prepare(self) -> None:
+        self.n = max(512, int(self.BASE_PIXELS * self.scale))
+        self.out = self.memory.allocate(self.dtype, self.n)
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        machine.vsetdimc(1)
+        offset = 0
+        while offset < self.n:
+            tile = min(lanes, self.n - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            color = machine.vsetdup(self.dtype, self.COLOR)
+            machine.vsst(color, self.out.address + offset * 4, (_M1,))
+            offset += tile
+
+    def reference(self) -> np.ndarray:
+        return np.full(self.n, self.COLOR, dtype=np.int32)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={},
+            bytes_read=0,
+            bytes_written=self.n * 4,
+            parallelism_1d=self.n,
+            dimensions=1,
+        )
+
+
+@register
+class BoxBlurKernel(Kernel):
+    """Horizontal 3-tap box blur over image rows."""
+
+    name = "skia_boxblur"
+    library = "Skia"
+    dims = "3D"
+    dtype = DataType.INT32
+    description = "3-tap horizontal box blur (sum of neighbours, no divide)"
+
+    BASE_ROWS = 32
+    COLS = 254
+
+    def prepare(self) -> None:
+        self.rows = max(4, int(self.BASE_ROWS * self.scale))
+        self.cols = self.COLS
+        image = self.rng.integers(0, 255, size=(self.rows, self.cols + 2), dtype=np.int64)
+        self.image = self.memory.allocate_array(
+            image.astype(np.int32).reshape(-1), self.dtype
+        )
+        self.out = self.memory.allocate(self.dtype, self.rows * self.cols)
+        self._image_ref = image.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        stride = self.cols + 2
+        rows_per_tile = max(1, min(self.rows, machine.simd_lanes // self.cols))
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, self.cols)
+        machine.vsetldstr(1, stride)
+        machine.vsetststr(1, self.cols)
+        row = 0
+        while row < self.rows:
+            count = min(rows_per_tile, self.rows - row)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(1, count)
+            base = self.image.address + row * stride * 4
+            left = machine.vsld(self.dtype, base, (_M1, _M3))
+            center = machine.vsld(self.dtype, base + 4, (_M1, _M3))
+            right = machine.vsld(self.dtype, base + 8, (_M1, _M3))
+            blurred = machine.vadd(machine.vadd(left, center), right)
+            machine.vsst(blurred, self.out.address + row * self.cols * 4, (_M1, _M3))
+            row += count
+
+    def reference(self) -> np.ndarray:
+        image = self._image_ref
+        result = image[:, :-2] + image[:, 1:-1] + image[:, 2:]
+        return result.astype(np.int32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.rows * self.cols
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=elements,
+            ops_per_element={"add": 2.0},
+            bytes_read=elements * 12,
+            bytes_written=elements * 4,
+            parallelism_1d=self.cols,
+            dimensions=3,
+        )

@@ -1,0 +1,192 @@
+"""WebAudio kernels (Audio Processing, 1-3D): gain, mixing, clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from ..isa.encoding import StrideMode
+from .base import Kernel, LOOP_SCALAR_OPS, elementwise_1d
+from .registry import register
+
+__all__ = ["GainKernel", "ChannelMixKernel", "ClipKernel"]
+
+_M0 = int(StrideMode.ZERO)
+_M1 = int(StrideMode.ONE)
+_M3 = int(StrideMode.REGISTER)
+
+#: WebAudio render quantum: 128 samples per chunk per channel.
+RENDER_QUANTUM = 128
+
+
+@register
+class GainKernel(Kernel):
+    """Apply a per-chunk gain to audio samples."""
+
+    name = "audio_gain"
+    library = "Webaudio"
+    dims = "1D"
+    dtype = DataType.FLOAT32
+    description = "Gain applied to fp32 audio samples"
+
+    BASE_SAMPLES = 32 * 1024
+    GAIN = 0.7071
+
+    def prepare(self) -> None:
+        self.n = max(RENDER_QUANTUM, int(self.BASE_SAMPLES * self.scale))
+        samples = self.rng.standard_normal(self.n).astype(np.float32)
+        self.samples = self.memory.allocate_array(samples, self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.n)
+        self._samples_ref = samples.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        def op(m: MVEMachine, inputs):
+            return m.vmul(inputs[0], m.vsetdup(self.dtype, self.GAIN))
+
+        elementwise_1d(
+            machine, self.dtype, [self.samples.address], self.out.address, self.n, op
+        )
+
+    def reference(self) -> np.ndarray:
+        return (self._samples_ref * np.float32(self.GAIN)).astype(np.float32)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=True,
+            elements=self.n,
+            ops_per_element={"mul": 1.0},
+            bytes_read=self.n * 4,
+            bytes_written=self.n * 4,
+            parallelism_1d=self.n,
+            dimensions=1,
+        )
+
+
+@register
+class ChannelMixKernel(Kernel):
+    """Mix several 128-sample channels per audio chunk into one output channel.
+
+    The 1D parallelism of one chunk is only 128 samples (the paper's
+    motivating example): MVE processes many chunks simultaneously by making
+    the chunk index the highest dimension.
+    """
+
+    name = "audio_mix"
+    library = "Webaudio"
+    dims = "3D"
+    dtype = DataType.FLOAT32
+    description = "Sum multiple audio channels across many 128-sample chunks"
+
+    CHANNELS = 4
+    BASE_CHUNKS = 64
+
+    def prepare(self) -> None:
+        self.chunks = max(2, int(self.BASE_CHUNKS * self.scale))
+        data = self.rng.standard_normal(
+            (self.chunks, self.CHANNELS, RENDER_QUANTUM)
+        ).astype(np.float32)
+        self.data = self.memory.allocate_array(data.reshape(-1), self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.chunks * RENDER_QUANTUM)
+        self._data_ref = data.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        chunk_stride = self.CHANNELS * RENDER_QUANTUM
+        chunks_per_tile = max(1, min(self.chunks, machine.simd_lanes // RENDER_QUANTUM))
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, RENDER_QUANTUM)
+        machine.vsetldstr(1, chunk_stride)
+        machine.vsetststr(1, RENDER_QUANTUM)
+        start = 0
+        while start < self.chunks:
+            count = min(chunks_per_tile, self.chunks - start)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(1, count)
+            acc = machine.vsetdup(self.dtype, 0.0)
+            for channel in range(self.CHANNELS):
+                machine.scalar(2)
+                samples = machine.vsld(
+                    self.dtype,
+                    self.data.address + (start * chunk_stride + channel * RENDER_QUANTUM) * 4,
+                    (_M1, _M3),
+                )
+                acc = machine.vadd(acc, samples)
+            machine.vsst(
+                acc, self.out.address + start * RENDER_QUANTUM * 4, (_M1, _M3)
+            )
+            start += count
+
+    def reference(self) -> np.ndarray:
+        return self._data_ref.sum(axis=1, dtype=np.float64).astype(np.float32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.chunks * RENDER_QUANTUM
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=True,
+            elements=elements,
+            ops_per_element={"add": float(self.CHANNELS)},
+            bytes_read=elements * 4 * self.CHANNELS,
+            bytes_written=elements * 4,
+            parallelism_1d=RENDER_QUANTUM,
+            dimensions=3,
+        )
+
+
+@register
+class ClipKernel(Kernel):
+    """Clamp audio samples to the [-1, 1] range."""
+
+    name = "audio_clip"
+    library = "Webaudio"
+    dims = "1D"
+    dtype = DataType.FLOAT32
+    description = "Clamp fp32 samples to [-1, 1]"
+
+    BASE_SAMPLES = 32 * 1024
+
+    def prepare(self) -> None:
+        self.n = max(RENDER_QUANTUM, int(self.BASE_SAMPLES * self.scale))
+        samples = (self.rng.standard_normal(self.n) * 2.0).astype(np.float32)
+        self.samples = self.memory.allocate_array(samples, self.dtype)
+        self.out = self.memory.allocate(self.dtype, self.n)
+        self._samples_ref = samples.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        def op(m: MVEMachine, inputs):
+            low = m.vsetdup(self.dtype, -1.0)
+            high = m.vsetdup(self.dtype, 1.0)
+            return m.vmin(m.vmax(inputs[0], low), high)
+
+        elementwise_1d(
+            machine, self.dtype, [self.samples.address], self.out.address, self.n, op
+        )
+
+    def reference(self) -> np.ndarray:
+        return np.clip(self._samples_ref, -1.0, 1.0).astype(np.float32)
+
+    def output(self) -> np.ndarray:
+        return self.out.read()
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=True,
+            elements=self.n,
+            ops_per_element={"min": 1.0, "max": 1.0},
+            bytes_read=self.n * 4,
+            bytes_written=self.n * 4,
+            parallelism_1d=self.n,
+            dimensions=1,
+        )

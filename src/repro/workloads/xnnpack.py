@@ -1,0 +1,362 @@
+"""XNNPACK kernels (Machine Learning, 2D): GEMM, SpMM and matrix transpose.
+
+GEMM follows the multidimensional-replication pattern of Section IV: input
+elements are replicated horizontally across the output columns and weight
+rows are replicated vertically across the output rows, so a tile of
+``8192 / M`` output rows is computed per iteration.  SpMM keeps the sparse
+matrix in a padded (ELL) layout; the scalar core computes the weight-row
+pointers for the non-zero entries and MVE gathers them with random loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..baselines.rvv import RVVEmitter
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from ..isa.encoding import StrideMode
+from .base import Kernel, LOOP_SCALAR_OPS
+from .registry import register
+
+__all__ = ["GemmKernel", "SpmmKernel", "TransposeKernel"]
+
+_M0 = int(StrideMode.ZERO)
+_M1 = int(StrideMode.ONE)
+_M2 = int(StrideMode.SEQUENTIAL)
+_M3 = int(StrideMode.REGISTER)
+
+
+@register
+class GemmKernel(Kernel):
+    """GEMM: C[N,M] = A[N,K] @ B[K,M] in fp32 with row-wise replication."""
+
+    name = "gemm"
+    library = "XNNPACK"
+    dims = "2D"
+    dtype = DataType.FLOAT32
+    description = "Dense fp32 GEMM with multidimensional replication"
+
+    BASE_N = 256
+    K = 64
+    M = 64
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, n: int | None = None,
+                 k: int | None = None, m: int | None = None):
+        super().__init__(scale=scale, seed=seed)
+        self._n_override = n
+        self._k_override = k
+        self._m_override = m
+
+    def prepare(self) -> None:
+        self.n = self._n_override or max(8, int(self.BASE_N * self.scale))
+        self.k = self._k_override or self.K
+        self.m = self._m_override or self.M
+        a = self.rng.standard_normal((self.n, self.k)).astype(np.float32)
+        b = self.rng.standard_normal((self.k, self.m)).astype(np.float32)
+        self.a = self.memory.allocate_array(a.reshape(-1), self.dtype)
+        self.b = self.memory.allocate_array(b.reshape(-1), self.dtype)
+        self.c = self.memory.allocate(self.dtype, self.n * self.m)
+        self._a_ref = a.copy()
+        self._b_ref = b.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        rows_per_tile = max(1, min(self.n, lanes // self.m))
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, self.m)
+        machine.vsetldstr(1, self.k)
+        row = 0
+        while row < self.n:
+            rows = min(rows_per_tile, self.n - row)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(1, rows)
+            acc = machine.vsetdup(self.dtype, 0.0)
+            for k in range(self.k):
+                machine.scalar(4)
+                # A[row+r][k] replicated across the M output columns.
+                a_val = machine.vsld(
+                    self.dtype, self.a.address + (row * self.k + k) * 4, (_M0, _M3)
+                )
+                # B[k][:] replicated down the tile's rows.
+                b_val = machine.vsld(
+                    self.dtype, self.b.address + k * self.m * 4, (_M1, _M0)
+                )
+                acc = machine.vadd(acc, machine.vmul(a_val, b_val))
+            # C tile: dim0 stride 1, dim1 stride = M (sequential mode).
+            machine.vsst(acc, self.c.address + row * self.m * 4, (_M1, _M2))
+            row += rows
+
+    def run_rvv(self, machine: MVEMachine) -> None:
+        # A 1D ISA still packs several output rows into the long register,
+        # but every row needs its own splat / partial access / packing move
+        # (one 1D segment per row).
+        emitter = RVVEmitter(machine)
+        lanes = machine.simd_lanes
+        rows_per_tile = max(1, min(self.n, lanes // self.m))
+        row = 0
+        while row < self.n:
+            rows = min(rows_per_tile, self.n - row)
+            machine.scalar(LOOP_SCALAR_OPS)
+            emitter.set_vector_length(min(rows * self.m, lanes))
+            acc = machine.vsetdup(self.dtype, 0.0)
+            for k in range(self.k):
+                # A[row+r][k] splat per tile row, packed segment by segment.
+                a_packed = None
+                for r in range(rows):
+                    machine.scalar(4, loads=1)
+                    emitter.set_vector_length(self.m)
+                    splat = machine.vsetdup(self.dtype, float(self._a_ref[row + r, k]))
+                    packed = machine.vcpy(splat)
+                    if a_packed is None:
+                        a_packed = packed
+                # B[k][:] replicated down the tile, one segment per row.
+                b_packed = emitter.load_multidim(
+                    self.dtype, self.b.address + k * self.m * 4, self.m, rows, 0
+                )
+                emitter.set_vector_length(min(rows * self.m, lanes))
+                acc = machine.vadd(acc, machine.vmul(a_packed, b_packed))
+            emitter.store_multidim(
+                acc, self.c.address + row * self.m * 4, self.m, rows, self.m
+            )
+            row += rows
+
+    def reference(self) -> np.ndarray:
+        return (
+            self._a_ref.astype(np.float64) @ self._b_ref.astype(np.float64)
+        ).astype(np.float32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.c.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.n * self.m
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=True,
+            elements=elements,
+            ops_per_element={"mac": float(self.k)},
+            bytes_read=(self.n * self.k + self.k * self.m) * 4,
+            bytes_written=elements * 4,
+            parallelism_1d=self.m,
+            dimensions=2,
+        )
+
+
+@register
+class SpmmKernel(Kernel):
+    """SpMM: sparse(A)[N,K] @ B[K,M] with random weight-row gathers."""
+
+    name = "spmm"
+    library = "XNNPACK"
+    dims = "2D"
+    dtype = DataType.FLOAT32
+    description = "Sparse fp32 matrix times dense matrix (ELL layout)"
+
+    BASE_N = 128
+    K = 128
+    M = 64
+    NNZ_PER_ROW = 16
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, n: int | None = None,
+                 k: int | None = None, m: int | None = None, nnz: int | None = None):
+        super().__init__(scale=scale, seed=seed)
+        self._n_override = n
+        self._k_override = k
+        self._m_override = m
+        self._nnz_override = nnz
+
+    def prepare(self) -> None:
+        self.n = self._n_override or max(8, int(self.BASE_N * self.scale))
+        self.k = self._k_override or self.K
+        self.m = self._m_override or self.M
+        self.nnz = min(self._nnz_override or self.NNZ_PER_ROW, self.k)
+        values = self.rng.standard_normal((self.n, self.nnz)).astype(np.float32)
+        columns = np.stack(
+            [
+                self.rng.choice(self.k, size=self.nnz, replace=False)
+                for _ in range(self.n)
+            ]
+        ).astype(np.int64)
+        b = self.rng.standard_normal((self.k, self.m)).astype(np.float32)
+        self.values = self.memory.allocate_array(values.reshape(-1), self.dtype)
+        self.b = self.memory.allocate_array(b.reshape(-1), self.dtype)
+        self.c = self.memory.allocate(self.dtype, self.n * self.m)
+        self._values_ref = values.copy()
+        self._columns_ref = columns.copy()
+        self._b_ref = b.copy()
+        # Pointer table filled by the scalar core before each random load.
+        lanes_rows = max(1, 8192 // self.m)
+        self.pointer_table = self.memory.allocate(DataType.UINT64, min(self.n, lanes_rows))
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        rows_per_tile = max(1, min(self.n, lanes // self.m))
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, self.m)
+        machine.vsetldstr(1, self.nnz)
+        row = 0
+        while row < self.n:
+            rows = min(rows_per_tile, self.n - row)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(1, rows)
+            acc = machine.vsetdup(self.dtype, 0.0)
+            for j in range(self.nnz):
+                # Scalar core: compute the weight-row address for each row's
+                # j-th non-zero and write it into the pointer table.
+                pointers = [
+                    self.b.address + int(self._columns_ref[row + r, j]) * self.m * 4
+                    for r in range(rows)
+                ]
+                self.pointer_table.write(
+                    np.asarray(
+                        pointers + [self.b.address] * (self.pointer_table.count - rows),
+                        dtype=np.uint64,
+                    )
+                )
+                machine.scalar(rows * 4, loads=rows, stores=rows)
+                # Non-zero values replicated across the M output columns.
+                val = machine.vsld(
+                    self.dtype, self.values.address + (row * self.nnz + j) * 4, (_M0, _M3)
+                )
+                # Gather one weight row per tile row from the pointer table.
+                b_rows = machine.vrld(self.dtype, self.pointer_table.address, (_M1,))
+                acc = machine.vadd(acc, machine.vmul(val, b_rows))
+            machine.vsst(acc, self.c.address + row * self.m * 4, (_M1, _M2))
+            row += rows
+
+    def run_rvv(self, machine: MVEMachine) -> None:
+        # RVV packs several sparse rows into the register, but every row's
+        # non-zero value splat and gathered weight row needs its own masked
+        # segment access and packing move.
+        emitter = RVVEmitter(machine)
+        lanes = machine.simd_lanes
+        rows_per_tile = max(1, min(self.n, lanes // self.m))
+        row = 0
+        while row < self.n:
+            rows = min(rows_per_tile, self.n - row)
+            machine.scalar(LOOP_SCALAR_OPS)
+            emitter.set_vector_length(min(rows * self.m, lanes))
+            acc = machine.vsetdup(self.dtype, 0.0)
+            for j in range(self.nnz):
+                values_packed = None
+                b_packed = None
+                for r in range(rows):
+                    machine.scalar(8, loads=2)
+                    emitter.set_vector_length(self.m)
+                    splat = machine.vsetdup(
+                        self.dtype, float(self._values_ref[row + r, j])
+                    )
+                    packed_value = machine.vcpy(splat)
+                    column = int(self._columns_ref[row + r, j])
+                    b_part = emitter.load_1d(
+                        self.dtype, self.b.address + column * self.m * 4
+                    )
+                    packed_b = machine.vcpy(b_part)
+                    if values_packed is None:
+                        values_packed = packed_value
+                        b_packed = packed_b
+                emitter.set_vector_length(min(rows * self.m, lanes))
+                acc = machine.vadd(acc, machine.vmul(values_packed, b_packed))
+            emitter.store_multidim(
+                acc, self.c.address + row * self.m * 4, self.m, rows, self.m
+            )
+            row += rows
+
+    def reference(self) -> np.ndarray:
+        dense = np.zeros((self.n, self.k), dtype=np.float64)
+        for row in range(self.n):
+            for j in range(self.nnz):
+                dense[row, self._columns_ref[row, j]] += self._values_ref[row, j]
+        return (dense @ self._b_ref.astype(np.float64)).astype(np.float32).reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.c.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.n * self.m
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=True,
+            elements=elements,
+            ops_per_element={"mac": float(self.nnz)},
+            bytes_read=(self.n * self.nnz * 2 + self.n * self.nnz * self.m) * 4,
+            bytes_written=elements * 4,
+            parallelism_1d=self.m,
+            dimensions=2,
+        )
+
+
+@register
+class TransposeKernel(Kernel):
+    """Matrix transpose with 2D strided loads and stores (Section IV)."""
+
+    name = "transpose"
+    library = "XNNPACK"
+    dims = "2D"
+    dtype = DataType.INT32
+    description = "M x N int32 matrix transpose"
+
+    BASE_M = 64
+    BASE_N = 128
+
+    def prepare(self) -> None:
+        self.rows = max(8, int(self.BASE_M * min(self.scale, 4.0)))
+        self.cols = max(8, int(self.BASE_N * self.scale))
+        data = self.rng.integers(-1000, 1000, size=(self.rows, self.cols), dtype=np.int64)
+        data = data.astype(np.int32)
+        self.input = self.memory.allocate_array(data.reshape(-1), self.dtype)
+        self.output_buf = self.memory.allocate(self.dtype, self.rows * self.cols)
+        self._input_ref = data.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        m, n = self.rows, self.cols
+        cols_per_tile = max(1, min(n, lanes // m))
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, m)
+        machine.vsetldstr(0, n)
+        machine.vsetststr(1, m)
+        col = 0
+        while col < n:
+            cols = min(cols_per_tile, n - col)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(1, cols)
+            # Logical register [c][r] = input[r][col + c]: dim0 walks the
+            # input rows (stride n), dim1 walks the columns (stride 1).
+            tile = machine.vsld(self.dtype, self.input.address + col * 4, (_M3, _M1))
+            # output[col + c][r]: dim0 stride 1, dim1 stride m.
+            machine.vsst(tile, self.output_buf.address + col * m * 4, (_M1, _M3))
+            col += cols
+
+    def run_rvv(self, machine: MVEMachine) -> None:
+        # 1D ISA: load each input column separately with a strided access.
+        emitter = RVVEmitter(machine)
+        for col in range(self.cols):
+            machine.scalar(LOOP_SCALAR_OPS)
+            emitter.set_vector_length(self.rows)
+            column = emitter.load_1d(self.dtype, self.input.address + col * 4, self.cols)
+            emitter.store_1d(column, self.output_buf.address + col * self.rows * 4, 1)
+
+    def reference(self) -> np.ndarray:
+        return self._input_ref.T.copy().reshape(-1)
+
+    def output(self) -> np.ndarray:
+        return self.output_buf.read()
+
+    def profile(self) -> KernelProfile:
+        elements = self.rows * self.cols
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=elements,
+            ops_per_element={},
+            bytes_read=elements * 4,
+            bytes_written=elements * 4,
+            parallelism_1d=self.rows,
+            dimensions=2,
+        )

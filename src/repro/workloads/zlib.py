@@ -1,0 +1,180 @@
+"""zlib kernels (Data Compression, 1-2D): Adler-32 and CRC block folding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.profile import KernelProfile
+from ..intrinsics.machine import MVEMachine
+from ..isa.datatypes import DataType
+from ..isa.encoding import StrideMode
+from .base import Kernel, LOOP_SCALAR_OPS, tree_reduce
+from .registry import register
+
+__all__ = ["Adler32Kernel", "CrcFoldKernel"]
+
+_M1 = int(StrideMode.ONE)
+
+
+@register
+class Adler32Kernel(Kernel):
+    """Adler-32 style checksum: sum of bytes and position-weighted sum.
+
+    The weighted sum ``B = sum_i (n - i) * data[i]`` is computed with a
+    weight vector prepared by the scalar core; both sums use the in-cache
+    tree-reduction pattern of Section IV.
+    """
+
+    name = "adler32"
+    library = "zlib"
+    dims = "2D"
+    dtype = DataType.INT32
+    description = "Adler-32 checksum (plain and weighted byte sums)"
+
+    BASE_BYTES = 32 * 1024
+
+    def prepare(self) -> None:
+        self.n = max(2048, int(self.BASE_BYTES * self.scale))
+        data = self.rng.integers(0, 255, size=self.n, dtype=np.int64)
+        # Position weights are reduced modulo 4096 (the real Adler-32 applies
+        # a modulus periodically) so the int32 partial sums cannot overflow.
+        weights = np.arange(self.n, 0, -1, dtype=np.int64) % 4096
+        self.data = self.memory.allocate_array(data.astype(np.int32), self.dtype)
+        self.weights = self.memory.allocate_array(weights.astype(np.int32), self.dtype)
+        self.partials_a = self.memory.allocate(DataType.INT32, 256)
+        self.partials_b = self.memory.allocate(DataType.INT32, 256)
+        self.scratch = self.memory.allocate(DataType.INT32, 8192)
+        self._data_ref = data.copy()
+        self._weights_ref = weights.copy()
+
+    def _reduce_sum(self, machine: MVEMachine, acc, length: int, partials) -> int:
+        reduced, remaining = tree_reduce(machine, acc, length, self.scratch.address)
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, remaining)
+        machine.vsst(reduced, partials.address, (_M1,))
+        machine.scalar(remaining * 2, loads=remaining)
+        return remaining
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        acc_length = min(lanes, self.n)
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, acc_length)
+        acc_a = machine.vsetdup(self.dtype, 0)
+        acc_b = machine.vsetdup(self.dtype, 0)
+        offset = 0
+        while offset < self.n:
+            tile = min(lanes, self.n - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            data = machine.vsld(self.dtype, self.data.address + offset * 4, (_M1,))
+            weights = machine.vsld(self.dtype, self.weights.address + offset * 4, (_M1,))
+            weighted = machine.vmul(data, weights)
+            machine.vsetdiml(0, acc_length)
+            acc_a = machine.vadd(acc_a, data)
+            acc_b = machine.vadd(acc_b, weighted)
+            offset += tile
+        self._remaining_a = self._reduce_sum(machine, acc_a, acc_length, self.partials_a)
+        self._remaining_b = self._reduce_sum(machine, acc_b, acc_length, self.partials_b)
+
+    def reference(self) -> np.ndarray:
+        a = int(self._data_ref.sum())
+        b = int((self._data_ref * self._weights_ref).sum())
+        return np.array([a, b], dtype=np.int64)
+
+    def output(self) -> np.ndarray:
+        a = int(self.partials_a.read()[: self._remaining_a].astype(np.int64).sum())
+        b = int(self.partials_b.read()[: self._remaining_b].astype(np.int64).sum())
+        return np.array([a, b], dtype=np.int64)
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={"add": 2.0, "mul": 1.0},
+            bytes_read=self.n * 8,
+            bytes_written=512 * 4,
+            parallelism_1d=self.n,
+            dimensions=2,
+        )
+
+
+@register
+class CrcFoldKernel(Kernel):
+    """CRC-style block folding: XOR-fold a buffer into a 256-word state."""
+
+    name = "crc_fold"
+    library = "zlib"
+    dims = "1D"
+    dtype = DataType.INT32
+    description = "XOR folding of a buffer into a fixed-size state"
+
+    BASE_WORDS = 16 * 1024
+    STATE_WORDS = 256
+
+    def prepare(self) -> None:
+        self.n = max(self.STATE_WORDS, int(self.BASE_WORDS * self.scale))
+        # Round to a multiple of the state size so folding is exact.
+        self.n -= self.n % self.STATE_WORDS
+        data = self.rng.integers(0, 2**31 - 1, size=self.n, dtype=np.int64)
+        self.data = self.memory.allocate_array(data.astype(np.int32), self.dtype)
+        # The in-cache pass leaves up to one full register of folded stripes.
+        self.state = self.memory.allocate(DataType.INT32, 8192)
+        self._data_ref = data.copy()
+
+    def run_mve(self, machine: MVEMachine) -> None:
+        lanes = machine.simd_lanes
+        # Fold as many state-sized stripes as fit in the SIMD lanes at once,
+        # then XOR-combine the stripes on the scalar core (<= lanes/256 values).
+        stripes_per_tile = max(1, lanes // self.STATE_WORDS)
+        tile_words = stripes_per_tile * self.STATE_WORDS
+        machine.vsetdimc(1)
+        acc_length = min(tile_words, self.n)
+        machine.vsetdiml(0, acc_length)
+        acc = machine.vsetdup(self.dtype, 0)
+        offset = 0
+        while offset < self.n:
+            tile = min(tile_words, self.n - offset)
+            machine.scalar(LOOP_SCALAR_OPS)
+            machine.vsetdiml(0, tile)
+            data = machine.vsld(self.dtype, self.data.address + offset * 4, (_M1,))
+            machine.vsetdiml(0, acc_length)
+            acc = machine.vxor(acc, data)
+            offset += tile
+        # Store the folded stripes; the scalar core combines them.
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, acc_length)
+        machine.vsst(acc, self.state.address, (_M1,))
+        machine.scalar(acc_length, loads=acc_length)
+        self._acc_length = acc_length
+
+    def reference(self) -> np.ndarray:
+        folded = np.zeros(self.STATE_WORDS, dtype=np.int64)
+        for start in range(0, self.n, self.STATE_WORDS):
+            folded ^= self._data_ref[start : start + self.STATE_WORDS]
+        return folded.astype(np.int32)
+
+    def output(self) -> np.ndarray:
+        # The in-cache pass leaves `acc_length` partially folded words in
+        # memory as consecutive stripes; the scalar core folds the stripes.
+        stored = self.state.read()[: self._acc_length].astype(np.int64)
+        result = np.zeros(self.STATE_WORDS, dtype=np.int64)
+        for start in range(0, stored.size, self.STATE_WORDS):
+            stripe = stored[start : start + self.STATE_WORDS]
+            result[: stripe.size] ^= stripe
+        return result.astype(np.int32)
+
+    def profile(self) -> KernelProfile:
+        return KernelProfile(
+            name=self.name,
+            element_bits=32,
+            is_float=False,
+            elements=self.n,
+            ops_per_element={"logic": 1.0},
+            bytes_read=self.n * 4,
+            bytes_written=self.STATE_WORDS * 4,
+            parallelism_1d=self.n,
+            dimensions=1,
+        )

@@ -1,0 +1,173 @@
+"""Unit tests for the compiler pipeline: liveness, scheduling, register allocation."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    analyze_liveness,
+    allocate_registers,
+    compile_trace,
+    schedule_trace,
+)
+from repro.compiler.liveness import defined_register, used_registers
+from repro.intrinsics import MVEMachine
+from repro.isa import (
+    ConfigInstruction,
+    DataType,
+    InstructionCategory,
+    MemoryInstruction,
+    Opcode,
+    PhysicalRegisterFile,
+    ScalarBlock,
+)
+from repro.memory import FlatMemory
+
+
+def build_chain_trace(num_values=4, dtype=DataType.INT32):
+    """A simple trace: load two vectors, combine them repeatedly, store."""
+    memory = FlatMemory()
+    machine = MVEMachine(memory)
+    a = memory.allocate_array(np.arange(16, dtype=dtype.numpy_dtype), dtype)
+    out = memory.allocate(dtype, 16)
+    machine.vsetdimc(1)
+    machine.vsetdiml(0, 16)
+    values = [machine.vsld(dtype, a.address, (1,)) for _ in range(num_values)]
+    acc = values[0]
+    for value in values[1:]:
+        acc = machine.vadd(acc, value)
+    machine.vsst(acc, out.address, (1,))
+    machine.scalar(4)
+    return machine.trace
+
+
+class TestLiveness:
+    def test_def_use_extraction(self):
+        trace = build_chain_trace()
+        defs = [defined_register(e) for e in trace]
+        uses = [used_registers(e) for e in trace]
+        assert any(d is not None for d in defs)
+        assert any(u for u in uses)
+
+    def test_ranges_cover_uses(self):
+        trace = build_chain_trace()
+        info = analyze_liveness(trace)
+        for reg, rng in info.ranges.items():
+            for use in rng.uses:
+                assert use >= rng.definition
+
+    def test_widest_bits_detected(self):
+        memory = FlatMemory()
+        machine = MVEMachine(memory)
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, 8)
+        narrow = machine.vsetdup(DataType.INT8, 1)
+        wide = machine.vcvt(narrow, DataType.INT64)
+        machine.vadd(wide, wide)
+        info = analyze_liveness(machine.trace)
+        assert info.widest_bits == 64
+
+    def test_max_live_positive(self):
+        info = analyze_liveness(build_chain_trace(num_values=6))
+        assert info.max_live >= 2
+
+    def test_scalar_blocks_ignored(self):
+        info = analyze_liveness([ScalarBlock(10)])
+        assert info.ranges == {}
+
+
+class TestScheduler:
+    def test_preserves_instruction_multiset(self):
+        trace = build_chain_trace()
+        scheduled = schedule_trace(trace)
+        assert len(scheduled) == len(trace)
+        assert {id(e) for e in scheduled} == {id(e) for e in trace}
+
+    def test_definitions_precede_uses(self):
+        trace = build_chain_trace(num_values=5)
+        scheduled = schedule_trace(trace)
+        seen = set()
+        for entry in scheduled:
+            for reg in used_registers(entry):
+                # registers defined by loads earlier in the schedule
+                if reg in {defined_register(e) for e in trace}:
+                    assert reg in seen
+            defined = defined_register(entry)
+            if defined is not None:
+                seen.add(defined)
+
+    def test_barriers_keep_relative_order(self):
+        trace = build_chain_trace()
+        scheduled = schedule_trace(trace)
+        memory_ops = [e for e in scheduled if isinstance(e, MemoryInstruction)]
+        original_ops = [e for e in trace if isinstance(e, MemoryInstruction)]
+        assert [id(e) for e in memory_ops] == [id(e) for e in original_ops]
+
+    def test_does_not_increase_pressure(self):
+        trace = build_chain_trace(num_values=6)
+        before = analyze_liveness(trace).max_live
+        after = analyze_liveness(schedule_trace(trace)).max_live
+        assert after <= before
+
+
+class TestRegisterAllocation:
+    def test_no_spills_when_registers_suffice(self):
+        trace = build_chain_trace(num_values=3)
+        result = allocate_registers(trace)
+        assert result.spill_count == 0
+        assert result.element_bits == 32
+        assert result.num_physical_registers == 8
+
+    def test_width_config_injected(self):
+        result = allocate_registers(build_chain_trace())
+        first = result.trace[0]
+        assert isinstance(first, ConfigInstruction)
+        assert first.opcode is Opcode.SET_WIDTH
+        assert first.operand_a == 32
+
+    def test_spills_inserted_under_pressure(self):
+        # A tiny register file (2 PRs) forces spilling for a 6-value chain
+        # where all loads happen before the adds.
+        trace = build_chain_trace(num_values=6)
+        tiny = PhysicalRegisterFile(num_arrays=1, array_rows=64, array_cols=16)
+        result = allocate_registers(trace, register_file=tiny)
+        assert result.num_physical_registers == 2
+        assert result.spill_count > 0
+        spill_ops = [
+            e for e in result.trace if isinstance(e, MemoryInstruction) and e.is_spill
+        ]
+        assert len(spill_ops) == result.spill_count
+
+    def test_assignments_within_bounds(self):
+        trace = build_chain_trace(num_values=5)
+        result = allocate_registers(trace)
+        assert all(0 <= p < result.num_physical_registers for p in result.assignment.values())
+
+    def test_peak_pressure_bounded_by_register_count(self):
+        trace = build_chain_trace(num_values=8)
+        tiny = PhysicalRegisterFile(num_arrays=1, array_rows=96, array_cols=16)
+        result = allocate_registers(trace, register_file=tiny)
+        assert result.peak_pressure <= result.num_physical_registers
+
+
+class TestPipeline:
+    def test_compile_trace_end_to_end(self):
+        trace = build_chain_trace()
+        compiled = compile_trace(trace)
+        assert compiled.element_bits == 32
+        assert compiled.spill_count == 0
+        assert len(compiled.trace) >= len(trace)
+
+    def test_scheduler_toggle(self):
+        trace = build_chain_trace(num_values=6)
+        with_sched = compile_trace(trace, use_scheduler=True)
+        without = compile_trace(trace, use_scheduler=False)
+        assert with_sched.peak_pressure <= without.peak_pressure
+
+    def test_compiled_trace_still_has_all_categories(self):
+        compiled = compile_trace(build_chain_trace())
+        categories = {
+            e.category for e in compiled.trace if not isinstance(e, ScalarBlock)
+        }
+        assert InstructionCategory.MEMORY in categories
+        assert InstructionCategory.ARITHMETIC in categories
+        assert InstructionCategory.CONFIG in categories

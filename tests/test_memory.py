@@ -1,0 +1,214 @@
+"""Unit tests for the memory substrates: flat memory, DRAM, caches."""
+
+import numpy as np
+import pytest
+
+from repro.isa import DataType
+from repro.memory import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    DRAMConfig,
+    DRAMModel,
+    FlatMemory,
+    HierarchyConfig,
+)
+
+
+class TestFlatMemory:
+    def test_allocate_and_roundtrip(self):
+        mem = FlatMemory()
+        alloc = mem.allocate(DataType.INT32, 16)
+        alloc.write(np.arange(16, dtype=np.int32))
+        np.testing.assert_array_equal(alloc.read(), np.arange(16, dtype=np.int32))
+
+    def test_allocate_array_initialises(self):
+        mem = FlatMemory()
+        alloc = mem.allocate_array([1.5, 2.5], DataType.FLOAT32)
+        np.testing.assert_allclose(alloc.read(), [1.5, 2.5])
+
+    def test_alignment(self):
+        mem = FlatMemory()
+        mem.allocate(DataType.INT8, 3)
+        second = mem.allocate(DataType.INT32, 4, align=64)
+        assert second.address % 64 == 0
+
+    def test_element_address(self):
+        mem = FlatMemory()
+        alloc = mem.allocate(DataType.INT32, 8)
+        assert alloc.element_address(2) == alloc.address + 8
+        with pytest.raises(IndexError):
+            alloc.element_address(8)
+
+    def test_gather_scatter(self):
+        mem = FlatMemory()
+        alloc = mem.allocate_array(np.arange(10, dtype=np.int32), DataType.INT32)
+        addresses = np.array([alloc.element_address(i) for i in (3, 1, 7)])
+        np.testing.assert_array_equal(
+            mem.read_elements(addresses, DataType.INT32), [3, 1, 7]
+        )
+        mem.write_elements(addresses, np.array([30, 10, 70]), DataType.INT32)
+        np.testing.assert_array_equal(alloc.read()[[3, 1, 7]], [30, 10, 70])
+
+    def test_out_of_bounds_rejected(self):
+        mem = FlatMemory(size_bytes=1024)
+        with pytest.raises(IndexError):
+            mem.view(mem.base_address + 2048, DataType.INT8, 1)
+
+    def test_exhaustion(self):
+        mem = FlatMemory(size_bytes=1024)
+        with pytest.raises(MemoryError):
+            mem.allocate(DataType.INT32, 10_000)
+
+    def test_pointer_table(self):
+        mem = FlatMemory()
+        table = mem.allocate_array(
+            np.array([0x2000, 0x3000], dtype=np.uint64), DataType.UINT64
+        )
+        pointers = mem.read_pointer_table(table.address, 2)
+        np.testing.assert_array_equal(pointers, [0x2000, 0x3000])
+
+    def test_write_wrong_count_rejected(self):
+        mem = FlatMemory()
+        alloc = mem.allocate(DataType.INT32, 4)
+        with pytest.raises(ValueError):
+            alloc.write([1, 2, 3])
+
+
+class TestDRAM:
+    def test_row_hit_cheaper_than_miss(self):
+        dram = DRAMModel()
+        miss = dram.access(0)
+        # Same channel and bank, same row: 256 bytes away on a 4-channel map.
+        hit = dram.access(256)
+        assert hit < miss
+        assert dram.stats.row_hits == 1
+        assert dram.stats.row_misses == 1
+
+    def test_different_rows_miss(self):
+        dram = DRAMModel()
+        dram.access(0)
+        latency = dram.access(dram.config.row_size_bytes * dram.config.num_banks)
+        assert latency == dram.config.row_miss_latency
+
+    def test_large_transfer_adds_bursts(self):
+        dram = DRAMModel()
+        small = dram.access(0, size_bytes=64)
+        dram.reset()
+        large = dram.access(0, size_bytes=256)
+        assert large > small
+
+    def test_bandwidth_cycles(self):
+        dram = DRAMModel(DRAMConfig(peak_bytes_per_cycle=16.0))
+        assert dram.bandwidth_cycles(160) == pytest.approx(10.0)
+
+    def test_stats_accumulate(self):
+        dram = DRAMModel()
+        dram.access(0, is_write=True)
+        dram.access(64)
+        assert dram.stats.writes == 1 and dram.stats.reads == 1
+        assert dram.stats.bytes_transferred == 128
+        assert 0.0 <= dram.stats.row_hit_rate() <= 1.0
+
+
+class TestCache:
+    def make_cache(self, size=4096, ways=4, line=64):
+        return Cache(CacheConfig(name="test", size_bytes=size, ways=ways, line_bytes=line))
+
+    def test_miss_then_hit(self):
+        cache = self.make_cache()
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_same_line_hits(self):
+        cache = self.make_cache()
+        cache.access(0x100)
+        assert cache.access(0x13C) is True  # same 64-byte line
+
+    def test_lru_eviction(self):
+        cache = self.make_cache(size=4 * 64, ways=4)  # one set
+        for i in range(4):
+            cache.access(i * 64)
+        cache.access(0)  # touch line 0 so it is MRU
+        cache.access(4 * 64)  # evict the LRU line (line 1)
+        assert cache.probe(0)
+        assert not cache.probe(64)
+
+    def test_writeback_counted(self):
+        cache = self.make_cache(size=4 * 64, ways=4)
+        for i in range(4):
+            cache.access(i * 64, is_write=True)
+        cache.access(4 * 64)
+        assert cache.stats.writebacks >= 1
+
+    def test_dirty_line_count(self):
+        cache = self.make_cache()
+        cache.access(0, is_write=True)
+        cache.access(64, is_write=False)
+        assert cache.dirty_line_count() == 1
+        assert cache.valid_line_count() == 2
+
+    def test_presence_bit(self):
+        cache = self.make_cache()
+        cache.access(0x200)
+        cache.mark_present_in_l1(0x200, True)
+        assert cache.present_in_l1(0x200)
+        cache.mark_present_in_l1(0x200, False)
+        assert not cache.present_in_l1(0x200)
+
+    def test_num_sets_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=32, ways=4).num_sets
+
+
+class TestCacheHierarchy:
+    def test_compute_ways_shrink_l2(self):
+        hierarchy = CacheHierarchy(l2_compute_ways=4)
+        assert hierarchy.l2.config.size_bytes == 256 * 1024
+        assert hierarchy.l2.config.ways == 4
+
+    def test_core_access_fills_levels(self):
+        hierarchy = CacheHierarchy()
+        first = hierarchy.core_access(0x4000)
+        second = hierarchy.core_access(0x4000)
+        assert first.hit_level == "DRAM"
+        assert second.hit_level == "L1-D"
+        assert second.latency < first.latency
+
+    def test_l2_access_coherence_eviction(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.core_access(0x8000)  # line now in L1 and marked present
+        assert hierarchy.l2.present_in_l1(0x8000)
+        hierarchy.l2_access(0x8000, from_core=False)
+        assert not hierarchy.l2.present_in_l1(0x8000)
+
+    def test_vector_block_access_warm_faster(self):
+        hierarchy = CacheHierarchy()
+        lines = [0x10000 + i * 64 for i in range(128)]
+        cold = hierarchy.vector_block_access(lines)
+        warm = hierarchy.vector_block_access(lines)
+        assert warm < cold
+
+    def test_vector_block_access_empty(self):
+        assert CacheHierarchy().vector_block_access([]) == 0
+
+    def test_vector_block_respects_dram_bandwidth(self):
+        hierarchy = CacheHierarchy()
+        lines = [0x100000 + i * 64 for i in range(512)]
+        cycles = hierarchy.vector_block_access(lines)
+        floor = hierarchy.dram.bandwidth_cycles(512 * 64)
+        assert cycles >= floor
+
+    def test_reset_stats_keeps_contents(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.l2_access(0x9000)
+        hierarchy.reset_stats()
+        assert hierarchy.l2.stats.accesses == 0
+        result = hierarchy.l2_access(0x9000)
+        assert result.hit_level == "L2"
+
+    def test_flush_dirty_cycles(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.l2_access(0xA000, is_write=True)
+        assert hierarchy.flush_dirty_cycles() > 0

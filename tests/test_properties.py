@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.intrinsics import MVEMachine
+from repro.isa import DataType, VectorShape, resolve_strides
+from repro.isa.registers import ControlRegisters
+from repro.memory import FlatMemory
+
+settings.register_profile("repro", deadline=None, max_examples=50)
+settings.load_profile("repro")
+
+dims_strategy = st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=4)
+
+
+class TestShapeProperties:
+    @given(dims_strategy)
+    def test_flatten_unflatten_roundtrip(self, lengths):
+        shape = VectorShape(tuple(lengths))
+        for lane in range(shape.total_elements):
+            assert shape.flatten_index(shape.unflatten_lane(lane)) == lane
+
+    @given(dims_strategy)
+    def test_flatten_is_bijective(self, lengths):
+        shape = VectorShape(tuple(lengths))
+        lanes = {
+            shape.flatten_index(shape.unflatten_lane(i)) for i in range(shape.total_elements)
+        }
+        assert len(lanes) == shape.total_elements
+
+    @given(dims_strategy)
+    def test_total_elements_is_product(self, lengths):
+        assert VectorShape(tuple(lengths)).total_elements == int(np.prod(lengths))
+
+
+class TestStrideProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=4),
+        st.lists(st.integers(min_value=1, max_value=16), min_size=4, max_size=4),
+        st.lists(st.integers(min_value=0, max_value=512), min_size=4, max_size=4),
+    )
+    def test_resolved_strides_non_negative(self, modes, lengths, registers):
+        strides = resolve_strides(modes, lengths, registers)
+        assert len(strides) == len(modes)
+        assert all(s >= 0 for s in strides)
+
+    @given(st.lists(st.integers(min_value=1, max_value=16), min_size=2, max_size=4))
+    def test_sequential_mode_equals_cumulative_product(self, lengths):
+        modes = [1] + [2] * (len(lengths) - 1)
+        strides = resolve_strides(modes, lengths, [0] * len(lengths))
+        expected = 1
+        for dim in range(1, len(lengths)):
+            expected *= lengths[dim - 1]
+            assert strides[dim] == expected
+
+
+class TestMaskProperties:
+    @given(st.integers(min_value=1, max_value=1024), st.sets(st.integers(0, 255), max_size=16))
+    def test_active_mask_length_matches_dimension(self, length, masked_off):
+        cr = ControlRegisters()
+        cr.set_dim_count(2)
+        cr.set_dim_length(1, length)
+        for element in masked_off:
+            cr.set_mask(element, False)
+        mask = cr.active_mask()
+        assert len(mask) == length
+
+
+def _machine_with(values, dtype):
+    memory = FlatMemory()
+    machine = MVEMachine(memory)
+    allocation = memory.allocate_array(np.asarray(values, dtype=dtype.numpy_dtype), dtype)
+    machine.vsetdimc(1)
+    machine.vsetdiml(0, len(values))
+    vector = machine.vsld(dtype, allocation.address, (1,))
+    return machine, vector, allocation
+
+
+int32_arrays = st.lists(
+    st.integers(min_value=-(2**30), max_value=2**30 - 1), min_size=1, max_size=64
+)
+
+
+class TestFunctionalProperties:
+    @given(int32_arrays)
+    def test_load_store_roundtrip(self, values):
+        machine, vector, _ = _machine_with(values, DataType.INT32)
+        out = machine.memory.allocate(DataType.INT32, len(values))
+        machine.vsst(vector, out.address, (1,))
+        np.testing.assert_array_equal(out.read(), np.asarray(values, dtype=np.int32))
+
+    @given(int32_arrays)
+    def test_add_matches_numpy(self, values):
+        machine, vector, _ = _machine_with(values, DataType.INT32)
+        doubled = machine.vadd(vector, vector)
+        expected = (np.asarray(values, dtype=np.int64) * 2).astype(np.int32)
+        np.testing.assert_array_equal(doubled.values, expected)
+
+    @given(int32_arrays)
+    def test_xor_with_self_is_zero(self, values):
+        machine, vector, _ = _machine_with(values, DataType.INT32)
+        np.testing.assert_array_equal(
+            machine.vxor(vector, vector).values, np.zeros(len(values), dtype=np.int32)
+        )
+
+    @given(int32_arrays)
+    def test_min_le_max(self, values):
+        machine, vector, _ = _machine_with(values, DataType.INT32)
+        reversed_vec = machine.vsetdup(DataType.INT32, 0)
+        low = machine.vmin(vector, reversed_vec)
+        high = machine.vmax(vector, reversed_vec)
+        assert np.all(low.values <= high.values)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=32),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_rotate_preserves_popcount(self, values, amount):
+        machine, vector, _ = _machine_with(values, DataType.UINT8)
+        rotated = machine.vrot_imm(vector, amount)
+        original_bits = [bin(int(v) & 0xFF).count("1") for v in vector.values]
+        rotated_bits = [bin(int(v) & 0xFF).count("1") for v in rotated.values]
+        assert original_bits == rotated_bits
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_strided_2d_load_matches_numpy_slicing(self, rows, cols, tile_cols):
+        tile_cols = min(tile_cols, cols)
+        matrix = np.arange(rows * cols, dtype=np.int32).reshape(rows, cols)
+        memory = FlatMemory()
+        machine = MVEMachine(memory)
+        allocation = memory.allocate_array(matrix.reshape(-1), DataType.INT32)
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, tile_cols)
+        machine.vsetdiml(1, rows)
+        machine.vsetldstr(1, cols)
+        value = machine.vsld(DataType.INT32, allocation.address, (1, 3))
+        np.testing.assert_array_equal(value.values, matrix[:, :tile_cols].reshape(-1))
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=2, max_size=64))
+    def test_tree_reduce_preserves_sum(self, values):
+        from repro.workloads.base import tree_reduce
+
+        memory = FlatMemory()
+        machine = MVEMachine(memory)
+        allocation = memory.allocate_array(np.asarray(values, np.int32), DataType.INT32)
+        scratch = memory.allocate(DataType.INT32, 8192)
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, len(values))
+        vector = machine.vsld(DataType.INT32, allocation.address, (1,))
+        reduced, remaining = tree_reduce(
+            machine, vector, len(values), scratch.address, stop_at=2
+        )
+        assert int(reduced.values[:remaining].sum()) == int(np.sum(values))
