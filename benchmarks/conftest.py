@@ -2,8 +2,16 @@
 
 Each benchmark regenerates one table or figure of the paper's evaluation
 section and prints the corresponding rows/series.  A single
-ExperimentRunner is shared across the session so kernels simulated for one
-figure are reused by another.
+ExperimentRunner is shared across the session, backed by the parallel sweep
+engine and the persistent on-disk result store: kernels simulated for one
+figure are reused by another, and a re-run of the suite answers from the
+cache as long as the simulator sources are unchanged.
+
+Environment knobs:
+
+* ``REPRO_SWEEP_JOBS``      worker processes (default: all cores)
+* ``REPRO_SWEEP_CACHE_DIR`` cache location (default ~/.cache/repro-sweep)
+* ``REPRO_NO_CACHE=1``      disable the persistent cache for this session
 """
 
 import os
@@ -13,9 +21,15 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import pytest
 
-from repro.experiments import ExperimentRunner
+from repro.core.cache import ResultStore
+from repro.experiments import ExperimentRunner, ParallelSweepEngine, default_job_count
 
 
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner(default_scale=0.5)
+    use_cache = os.environ.get("REPRO_NO_CACHE", "") != "1"
+    engine = ParallelSweepEngine(
+        jobs=default_job_count(),
+        store=ResultStore.default() if use_cache else None,
+    )
+    return ExperimentRunner(default_scale=0.5, engine=engine)

@@ -2,18 +2,24 @@
 """Regenerate the headline numbers of the paper's evaluation section.
 
 Runs every experiment module (Tables I/II/III/V, Figures 7-13) at a reduced
-dataset scale and prints the measured values next to the paper's.  Expect a
-few minutes of runtime; the same code paths are exercised with asserts by
+dataset scale and prints the measured values next to the paper's.  Kernel
+simulations are sharded over worker processes (``--jobs``) and answered
+from the persistent sweep cache on repeat runs (disable with
+``--no-cache``); the same code paths are exercised with asserts by
 ``pytest benchmarks/ --benchmark-only``.
 """
 
+import argparse
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.core.cache import ResultStore
 from repro.experiments import (
     ExperimentRunner,
+    ParallelSweepEngine,
+    default_job_count,
     run_figure7,
     run_figure8,
     run_figure9,
@@ -26,7 +32,21 @@ from repro.experiments import (
 
 
 def main() -> None:
-    runner = ExperimentRunner(default_scale=0.5)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=default_job_count(),
+        help="worker processes for kernel simulation (default: all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the persistent sweep cache"
+    )
+    args = parser.parse_args()
+
+    engine = ParallelSweepEngine(
+        jobs=args.jobs,
+        store=None if args.no_cache else ResultStore.default(),
+    )
+    runner = ExperimentRunner(default_scale=0.5, engine=engine)
 
     area = table5_summary()
     print("Table V  : MVE area overhead "

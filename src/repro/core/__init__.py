@@ -2,6 +2,7 @@
 
 from .address_gen import address_range, cache_line_addresses, element_addresses
 from .area import AreaModel, AreaReport, GPU_AREA_MM2, NEON_AREA_MM2, SCALAR_CORE_AREA_MM2
+from .cache import ResultStore, code_fingerprint, config_digest, stable_hash
 from .config import MachineConfig, default_config
 from .controller import InstructionPlacement, MVEControllerModel
 from .energy import EnergyBreakdown, EnergyCoefficients, EnergyModel
@@ -18,6 +19,10 @@ __all__ = [
     "GPU_AREA_MM2",
     "NEON_AREA_MM2",
     "SCALAR_CORE_AREA_MM2",
+    "ResultStore",
+    "code_fingerprint",
+    "config_digest",
+    "stable_hash",
     "MachineConfig",
     "default_config",
     "InstructionPlacement",

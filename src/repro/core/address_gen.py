@@ -26,15 +26,16 @@ def element_addresses(instruction: MemoryInstruction) -> np.ndarray:
     element_bytes = instruction.dtype.bytes
     addresses = np.zeros(total, dtype=np.int64)
     strides = instruction.resolved_strides
+    lanes = np.arange(total, dtype=np.int64)
     multiplier = 1
     for dim, length in enumerate(lengths):
-        indices = (np.arange(total) // multiplier) % length
+        indices = (lanes // multiplier) % length
         if instruction.is_random and dim == len(lengths) - 1:
             bases = np.asarray(instruction.random_bases, dtype=np.int64)
             addresses += bases[indices]
         else:
             stride = strides[dim] if dim < len(strides) else 0
-            addresses += indices * stride * element_bytes
+            addresses += indices * (stride * element_bytes)
         multiplier *= length
     if not instruction.is_random:
         addresses += instruction.base_address
@@ -42,8 +43,7 @@ def element_addresses(instruction: MemoryInstruction) -> np.ndarray:
     if instruction.mask:
         mask_bits = np.asarray(instruction.mask, dtype=bool)
         inner = total // lengths[-1]
-        lane_high = np.arange(total) // inner
-        addresses = addresses[mask_bits[lane_high]]
+        addresses = addresses[mask_bits[lanes // inner]]
     return addresses
 
 

@@ -1,0 +1,151 @@
+"""Content-addressed, on-disk result store for simulation outcomes.
+
+Simulating one kernel trace is deterministic: the result is a pure function
+of the kernel (name, scale, constructor kwargs), the lowering (MVE or RVV),
+the compute scheme and the full :class:`~repro.core.config.MachineConfig`.
+The store exploits that by hashing all of those inputs -- plus a fingerprint
+of the simulator source tree, so any code change invalidates every entry --
+into a cache key, and keeping one small JSON payload per key on disk.
+
+Entries are written atomically and loaded defensively: a truncated or
+corrupted file is treated as a miss and deleted, never trusted.  The store
+lives at ``$REPRO_SWEEP_CACHE_DIR`` (default ``~/.cache/repro-sweep``) and
+is safe to delete wholesale at any time; ``python -m repro.sweep clear-cache``
+does exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from .config import MachineConfig
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultStore",
+    "code_fingerprint",
+    "config_digest",
+    "stable_hash",
+]
+
+#: bump when the payload layout changes incompatibly
+CACHE_SCHEMA_VERSION = 1
+
+_ENV_CACHE_DIR = "REPRO_SWEEP_CACHE_DIR"
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file, used as a cache-key salt.
+
+    Any edit anywhere in the package changes the fingerprint and therefore
+    invalidates the whole store, which makes stale results impossible by
+    construction (at the cost of a cold cache after each code change).
+    Computed once per process (~90 files, a few milliseconds).
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def config_digest(config: MachineConfig) -> dict:
+    """The full machine configuration as a plain, JSON-serializable dict."""
+    return dataclasses.asdict(config)
+
+
+def stable_hash(payload: Any) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload``."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+class ResultStore:
+    """One JSON file per cache key under ``root``, sharded by key prefix."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default_dir(cls) -> Path:
+        env = os.environ.get(_ENV_CACHE_DIR)
+        if env:
+            return Path(env)
+        return Path.home() / ".cache" / "repro-sweep"
+
+    @classmethod
+    def default(cls) -> "ResultStore":
+        return cls(cls.default_dir())
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or None on miss or corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            if path.exists():
+                # Corrupted (truncated write, bad encoding, ...): drop it so
+                # the recomputed result can take its place.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` (merged with the schema marker)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"schema": CACHE_SCHEMA_VERSION, **payload}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full cache directory degrades to a no-op cache.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

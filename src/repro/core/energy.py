@@ -65,6 +65,23 @@ class EnergyBreakdown:
             static_nj=self.static_nj * factor,
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "compute_nj": self.compute_nj,
+            "data_access_nj": self.data_access_nj,
+            "cpu_nj": self.cpu_nj,
+            "static_nj": self.static_nj,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyBreakdown":
+        return cls(
+            compute_nj=float(data["compute_nj"]),
+            data_access_nj=float(data["data_access_nj"]),
+            cpu_nj=float(data["cpu_nj"]),
+            static_nj=float(data["static_nj"]),
+        )
+
 
 class EnergyModel:
     """Accumulates event counts into an :class:`EnergyBreakdown`."""

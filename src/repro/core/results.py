@@ -56,6 +56,46 @@ class SimulationResult:
     def vector_instruction_total(self) -> int:
         return sum(self.vector_instructions.values())
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form, the inverse of :meth:`from_dict`.
+
+        Used by the persistent sweep cache and the golden-trace snapshots;
+        floats are stored as-is so the round-trip is bit-exact.
+        """
+        return {
+            "total_cycles": self.total_cycles,
+            "idle_cycles": self.idle_cycles,
+            "compute_cycles": self.compute_cycles,
+            "data_access_cycles": self.data_access_cycles,
+            "scalar_instructions": self.scalar_instructions,
+            "vector_instructions": dict(self.vector_instructions),
+            "spill_instructions": self.spill_instructions,
+            "lane_utilization": self.lane_utilization,
+            "cb_utilization": self.cb_utilization,
+            "energy": self.energy.to_dict(),
+            "frequency_ghz": self.frequency_ghz,
+            "dram_bytes": self.dram_bytes,
+            "l2_hit_rate": self.l2_hit_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        return cls(
+            total_cycles=float(data["total_cycles"]),
+            idle_cycles=float(data["idle_cycles"]),
+            compute_cycles=float(data["compute_cycles"]),
+            data_access_cycles=float(data["data_access_cycles"]),
+            scalar_instructions=int(data["scalar_instructions"]),
+            vector_instructions={k: int(v) for k, v in data["vector_instructions"].items()},
+            spill_instructions=int(data["spill_instructions"]),
+            lane_utilization=float(data["lane_utilization"]),
+            cb_utilization=float(data["cb_utilization"]),
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+            frequency_ghz=float(data["frequency_ghz"]),
+            dram_bytes=int(data["dram_bytes"]),
+            l2_hit_rate=float(data["l2_hit_rate"]),
+        )
+
     def breakdown_fractions(self) -> dict[str, float]:
         total = max(self.total_cycles, 1e-12)
         return {

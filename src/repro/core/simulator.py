@@ -61,6 +61,11 @@ class MVESimulator:
         self.controller = MVEControllerModel(self.config.engine, self.scheme)
         self.tmu = TransposeMemoryUnit(self.config.tmu)
         self.energy_coefficients = energy_coefficients or EnergyCoefficients()
+        # Cache-line footprints are pure functions of the (immutable) memory
+        # instruction, so they are memoized per instruction object: warm-cache
+        # runs replay the same trace and skip the address expansion entirely.
+        # The instruction is kept in the value to pin its id() against reuse.
+        self._line_memo: dict[int, tuple[MemoryInstruction, list[int]]] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -200,8 +205,13 @@ class MVESimulator:
         llc_before = hierarchy.llc.stats.hits
         dram_before = hierarchy.dram.stats.reads + hierarchy.dram.stats.writes
 
-        lines = cache_line_addresses(instruction, hierarchy.line_bytes)
-        cache_cycles = hierarchy.vector_block_access(lines.tolist(), instruction.is_store)
+        memo = self._line_memo.get(id(instruction))
+        if memo is None or memo[0] is not instruction:
+            lines = cache_line_addresses(instruction, hierarchy.line_bytes).tolist()
+            self._line_memo[id(instruction)] = (instruction, lines)
+        else:
+            lines = memo[1]
+        cache_cycles = hierarchy.vector_block_access(lines, instruction.is_store)
 
         l2_hits = hierarchy.l2.stats.hits - l2_before
         llc_hits = hierarchy.llc.stats.hits - llc_before

@@ -1,6 +1,15 @@
 """Experiment modules: one per table/figure of the paper's evaluation."""
 
 from .runner import ExperimentRunner, KernelRun
+from .sweep import (
+    JobOutcome,
+    KernelJob,
+    ParallelSweepEngine,
+    SweepResult,
+    SweepSpec,
+    default_job_count,
+    execute_job,
+)
 from .tables import (
     format_table,
     table1_isa_comparison,
@@ -27,6 +36,13 @@ from .figure13 import Figure13Result, SchemeComparison, run_figure13, FIGURE13_K
 __all__ = [
     "ExperimentRunner",
     "KernelRun",
+    "JobOutcome",
+    "KernelJob",
+    "ParallelSweepEngine",
+    "SweepResult",
+    "SweepSpec",
+    "default_job_count",
+    "execute_job",
     "format_table",
     "table1_isa_comparison",
     "table2_instruction_latencies",

@@ -12,12 +12,15 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.config import MachineConfig
 from .runner import ExperimentRunner
+from .sweep import SweepSpec
 
 __all__ = [
     "RvvComparison",
     "Figure10Result",
     "run_figure10",
+    "figure10_sweep_spec",
     "FIGURE10_KERNELS",
     "kernel_run_parameters",
 ]
@@ -85,8 +88,19 @@ class Figure10Result:
     mean_rvv_cb_utilization: float
 
 
+def figure10_sweep_spec(base_config: Optional[MachineConfig] = None) -> SweepSpec:
+    """The exact MVE+RVV job set :func:`run_figure10` simulates (shared with the CLI)."""
+    spec = SweepSpec(name="figure10", kinds=("mve", "rvv"))
+    if base_config is not None:
+        spec.base_config = base_config
+    spec.schemes = (spec.base_config.scheme_name,)
+    spec.kernels = [(name, kernel_run_parameters(name)) for name, _ in FIGURE10_KERNELS]
+    return spec
+
+
 def run_figure10(runner: Optional[ExperimentRunner] = None) -> Figure10Result:
     runner = runner or ExperimentRunner()
+    runner.prefetch(figure10_sweep_spec(runner.config).jobs())
     rows: list[RvvComparison] = []
     for name, dims in FIGURE10_KERNELS:
         params = kernel_run_parameters(name)

@@ -22,6 +22,7 @@ from ..intrinsics.machine import MVEMachine
 from ..isa.datatypes import DataType
 from ..memory.flatmem import FlatMemory
 from .runner import ExperimentRunner
+from .sweep import SweepSpec
 
 __all__ = [
     "DualityCacheComparison",
@@ -32,10 +33,18 @@ __all__ = [
     "run_figure12b",
     "run_figure12c",
     "run_figure12",
+    "figure12a_sweep_spec",
+    "figure12b_sweep_spec",
     "FIGURE12_KERNELS",
+    "FIGURE12B_KERNELS",
+    "FIGURE12B_ARRAY_COUNTS",
 ]
 
 FIGURE12_KERNELS = ("gemm", "spmm", "fir_v", "fir_s", "fir_l")
+
+#: scalability-study subset and engine sizes (Figure 12b)
+FIGURE12B_KERNELS = ("gemm", "spmm", "fir_l")
+FIGURE12B_ARRAY_COUNTS = (8, 16, 32, 64)
 
 _KERNEL_PARAMS = {
     "gemm": {"scale": 0.5},
@@ -80,12 +89,38 @@ class Figure12Result:
     mean_dc_slowdown: float
 
 
+def figure12a_sweep_spec(
+    kernels: Sequence[str] = FIGURE12_KERNELS,
+    base_config: Optional[MachineConfig] = None,
+) -> SweepSpec:
+    """The exact MVE job set :func:`run_figure12a` simulates (shared with the CLI)."""
+    spec = SweepSpec(name="figure12a")
+    if base_config is not None:
+        spec.base_config = base_config
+    spec.schemes = (spec.base_config.scheme_name,)
+    spec.kernels = [(name, _KERNEL_PARAMS.get(name, {"scale": 0.5})) for name in kernels]
+    return spec
+
+
+def figure12b_sweep_spec(
+    kernels: Sequence[str] = FIGURE12B_KERNELS,
+    array_counts: Sequence[int] = FIGURE12B_ARRAY_COUNTS,
+    base_config: Optional[MachineConfig] = None,
+) -> SweepSpec:
+    """The exact MVE job set :func:`run_figure12b` simulates (shared with the CLI)."""
+    spec = figure12a_sweep_spec(kernels, base_config)
+    spec.name = "figure12b"
+    spec.array_counts = tuple(array_counts)
+    return spec
+
+
 def run_figure12a(
     runner: Optional[ExperimentRunner] = None,
     kernels: Sequence[str] = FIGURE12_KERNELS,
 ) -> list[DualityCacheComparison]:
     """MVE (SIMD) versus Duality Cache (SIMT) on the same engine."""
     runner = runner or ExperimentRunner()
+    runner.prefetch(figure12a_sweep_spec(kernels, runner.config).jobs())
     rows = []
     for name in kernels:
         params = _KERNEL_PARAMS.get(name, {"scale": 0.5})
@@ -106,11 +141,12 @@ def run_figure12a(
 
 def run_figure12b(
     runner: Optional[ExperimentRunner] = None,
-    kernels: Sequence[str] = ("gemm", "spmm", "fir_l"),
-    array_counts: Sequence[int] = (8, 16, 32, 64),
+    kernels: Sequence[str] = FIGURE12B_KERNELS,
+    array_counts: Sequence[int] = FIGURE12B_ARRAY_COUNTS,
 ) -> list[ScalabilityPoint]:
     """Performance scalability with the number of compute SRAM arrays."""
     runner = runner or ExperimentRunner()
+    runner.prefetch(figure12b_sweep_spec(kernels, array_counts, runner.config).jobs())
     points = []
     for name in kernels:
         params = _KERNEL_PARAMS.get(name, {"scale": 0.5})

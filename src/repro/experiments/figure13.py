@@ -7,11 +7,19 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.config import MachineConfig
 from ..sram.schemes import SCHEME_NAMES
 from .figure10 import kernel_run_parameters
 from .runner import ExperimentRunner
+from .sweep import SweepSpec
 
-__all__ = ["SchemeComparison", "Figure13Result", "run_figure13", "FIGURE13_KERNELS"]
+__all__ = [
+    "SchemeComparison",
+    "Figure13Result",
+    "run_figure13",
+    "figure13_sweep_spec",
+    "FIGURE13_KERNELS",
+]
 
 #: representative kernel subset (one per dimensionality class)
 FIGURE13_KERNELS = ("csum", "gemm", "intra", "dct")
@@ -41,12 +49,26 @@ class Figure13Result:
         raise KeyError(scheme)
 
 
+def figure13_sweep_spec(
+    kernels: Sequence[str] = FIGURE13_KERNELS,
+    schemes: Sequence[str] = SCHEME_NAMES,
+    base_config: Optional[MachineConfig] = None,
+) -> SweepSpec:
+    """The exact MVE+RVV job set :func:`run_figure13` simulates (shared with the CLI)."""
+    spec = SweepSpec(name="figure13", kinds=("mve", "rvv"), schemes=tuple(schemes))
+    if base_config is not None:
+        spec.base_config = base_config
+    spec.kernels = [(name, kernel_run_parameters(name)) for name in kernels]
+    return spec
+
+
 def run_figure13(
     runner: Optional[ExperimentRunner] = None,
     kernels: Sequence[str] = FIGURE13_KERNELS,
     schemes: Sequence[str] = SCHEME_NAMES,
 ) -> Figure13Result:
     runner = runner or ExperimentRunner()
+    runner.prefetch(figure13_sweep_spec(kernels, schemes, runner.config).jobs())
     rows = []
     for scheme in schemes:
         ratios = []

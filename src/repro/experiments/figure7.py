@@ -7,10 +7,34 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.config import MachineConfig
 from ..workloads import kernels_in_library, library_names
 from .runner import ExperimentRunner
+from .sweep import SweepSpec
 
-__all__ = ["LibraryComparison", "Figure7Result", "run_figure7"]
+__all__ = ["LibraryComparison", "Figure7Result", "run_figure7", "figure7_sweep_spec"]
+
+
+def figure7_sweep_spec(
+    scale: float = 0.5,
+    libraries: Optional[list[str]] = None,
+    base_config: Optional[MachineConfig] = None,
+) -> SweepSpec:
+    """The exact job set :func:`run_figure7` simulates, as a sweep spec.
+
+    Single source of truth shared by the figure's prefetch and the
+    ``python -m repro.sweep`` CLI, so the two can never drift apart.
+    """
+    spec = SweepSpec(name="figure7", default_scale=scale)
+    if base_config is not None:
+        spec.base_config = base_config
+    spec.schemes = (spec.base_config.scheme_name,)
+    spec.kernels = [
+        (name, {"scale": scale})
+        for library in (libraries or library_names())
+        for name in kernels_in_library(library)
+    ]
+    return spec
 
 
 @dataclass
@@ -55,6 +79,7 @@ def run_figure7(
     """MVE vs the packed-SIMD Neon baseline over the whole workload suite."""
     runner = runner or ExperimentRunner()
     libraries = libraries or library_names()
+    runner.prefetch(figure7_sweep_spec(scale, libraries, runner.config).jobs())
 
     per_library: list[LibraryComparison] = []
     for library in libraries:

@@ -7,9 +7,17 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.config import MachineConfig
 from .runner import ExperimentRunner
+from .sweep import SweepSpec
 
-__all__ = ["GpuComparison", "Figure8Result", "run_figure8", "FIGURE8_KERNELS"]
+__all__ = [
+    "GpuComparison",
+    "Figure8Result",
+    "run_figure8",
+    "figure8_sweep_spec",
+    "FIGURE8_KERNELS",
+]
 
 #: kernels used for the GPU comparison (the paper's CSUM..IDCT selection)
 FIGURE8_KERNELS = (
@@ -28,6 +36,20 @@ FIGURE8_KERNELS = (
 
 #: per-kernel dataset scales keeping trace lengths manageable
 _KERNEL_SCALES = {"satd": 0.25, "dct": 0.25, "idct": 0.25}
+
+
+def figure8_sweep_spec(
+    scale: float = 0.5, base_config: Optional[MachineConfig] = None
+) -> SweepSpec:
+    """The exact MVE job set :func:`run_figure8` simulates (shared with the CLI)."""
+    spec = SweepSpec(name="figure8", default_scale=scale)
+    if base_config is not None:
+        spec.base_config = base_config
+    spec.schemes = (spec.base_config.scheme_name,)
+    spec.kernels = [
+        (name, {"scale": _KERNEL_SCALES.get(name, scale)}) for name in FIGURE8_KERNELS
+    ]
+    return spec
 
 
 @dataclass
@@ -54,6 +76,7 @@ def run_figure8(
 ) -> Figure8Result:
     """Compare MVE against the mobile-GPU model on the selected kernels."""
     runner = runner or ExperimentRunner()
+    runner.prefetch(figure8_sweep_spec(scale, runner.config).jobs())
     rows: list[GpuComparison] = []
     for name in FIGURE8_KERNELS:
         kernel_scale = _KERNEL_SCALES.get(name, scale)

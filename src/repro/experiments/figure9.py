@@ -10,9 +10,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..core.config import MachineConfig
 from .runner import ExperimentRunner
+from .sweep import SweepSpec
 
-__all__ = ["SweepPoint", "Figure9Result", "run_figure9", "GEMM_SWEEP", "SPMM_SWEEP"]
+__all__ = [
+    "SweepPoint",
+    "Figure9Result",
+    "run_figure9",
+    "figure9_sweep_spec",
+    "GEMM_SWEEP",
+    "SPMM_SWEEP",
+]
 
 #: (N, K, M) GEMM layer shapes, small to large (CNN-layer-like sizes)
 GEMM_SWEEP: tuple[tuple[int, int, int], ...] = (
@@ -71,12 +80,32 @@ class Figure9Result:
         return self._crossover(self.spmm_points)
 
 
+def figure9_sweep_spec(
+    gemm_sweep: Sequence[tuple[int, int, int]] = GEMM_SWEEP,
+    spmm_sweep: Sequence[tuple[int, int, int, int]] = SPMM_SWEEP,
+    base_config: Optional[MachineConfig] = None,
+) -> SweepSpec:
+    """The exact MVE job set :func:`run_figure9` simulates (shared with the CLI)."""
+    spec = SweepSpec(name="figure9")
+    if base_config is not None:
+        spec.base_config = base_config
+    spec.schemes = (spec.base_config.scheme_name,)
+    spec.kernels = [
+        ("gemm", {"scale": 1.0, "n": n, "k": k, "m": m}) for n, k, m in gemm_sweep
+    ] + [
+        ("spmm", {"scale": 1.0, "n": n, "k": k, "m": m, "nnz": nnz})
+        for n, k, m, nnz in spmm_sweep
+    ]
+    return spec
+
+
 def run_figure9(
     runner: Optional[ExperimentRunner] = None,
     gemm_sweep: Sequence[tuple[int, int, int]] = GEMM_SWEEP,
     spmm_sweep: Sequence[tuple[int, int, int, int]] = SPMM_SWEEP,
 ) -> Figure9Result:
     runner = runner or ExperimentRunner()
+    runner.prefetch(figure9_sweep_spec(gemm_sweep, spmm_sweep, runner.config).jobs())
 
     gemm_points = []
     for n, k, m in gemm_sweep:

@@ -1,58 +1,135 @@
 """Shared helpers for the experiment modules (one module per table/figure).
 
-The runner caches simulation results within a process so that experiments
-sharing kernels (e.g. Figures 10 and 11 both need the RVV traces) do not
-re-simulate them.
+The runner sits on top of the :class:`ParallelSweepEngine`: every MVE/RVV
+simulation becomes a :class:`KernelJob` keyed by the *full* machine
+configuration, the scheme, the kernel and its parameters, so results are
+memoized in-process (and, when a persistent store is attached, on disk)
+without any risk of two different configurations aliasing the same entry.
+Experiments that know their job set up front call :meth:`ExperimentRunner.prefetch`
+so the engine can shard the batch across worker processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Union
 
 from ..baselines.gpu import GPUModel, GPUResult
 from ..baselines.neon import NeonModel, NeonResult
+from ..core.cache import ResultStore
 from ..core.config import MachineConfig, default_config
 from ..core.results import SimulationResult
-from ..core.simulator import simulate_kernel
-from ..sram.schemes import get_scheme
-from ..workloads import create_kernel
 from ..workloads.base import Kernel
+from .sweep import KernelJob, ParallelSweepEngine
 
 __all__ = ["KernelRun", "ExperimentRunner"]
 
 
 @dataclass
 class KernelRun:
-    """One kernel simulated on one configuration."""
+    """One kernel simulated on one configuration.
 
-    kernel: Kernel
-    result: SimulationResult
+    The kernel object is materialized lazily: most consumers only read
+    ``result``, and on a warm cache executing every kernel's functional
+    model up front would dominate the runtime of an otherwise
+    simulation-free run.
+    """
+
+    _kernel: Union[Kernel, Callable[[], Kernel]] = field(repr=False)
+    result: SimulationResult = field(default_factory=SimulationResult)
     spills: int = 0
+
+    @property
+    def kernel(self) -> Kernel:
+        """The kernel instance, with its lowering executed (built on first
+        access, so outputs in its flat memory are populated as if it had
+        just been traced)."""
+        if callable(self._kernel):
+            self._kernel = self._kernel()
+        return self._kernel
 
 
 class ExperimentRunner:
     """Runs kernels on the MVE simulator and the baseline models, with caching."""
 
-    def __init__(self, config: Optional[MachineConfig] = None, default_scale: float = 0.5):
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        default_scale: float = 0.5,
+        engine: Optional[ParallelSweepEngine] = None,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+    ):
         self.config = config or default_config()
         self.default_scale = default_scale
-        self._mve_cache: dict = {}
-        self._rvv_cache: dict = {}
+        self.engine = engine or ParallelSweepEngine(jobs=jobs, store=store)
         self._kernel_cache: dict = {}
+        self._traced: set = set()
 
     # ------------------------------------------------------------------ #
 
     def _get_kernel(self, name: str, scale: float, **kwargs) -> Kernel:
         key = (name, scale, tuple(sorted(kwargs.items())))
         if key not in self._kernel_cache:
-            kernel = create_kernel(name, scale=scale, **kwargs) if not kwargs else None
-            if kernel is None:
-                from ..workloads import get_kernel_class
+            from ..workloads import get_kernel_class
 
-                kernel = get_kernel_class(name)(scale=scale, **kwargs)
+            kernel = get_kernel_class(name)(scale=scale, **kwargs)
+            kernel.setup()
             self._kernel_cache[key] = kernel
         return self._kernel_cache[key]
+
+    def _get_traced_kernel(self, job: KernelJob) -> Kernel:
+        """The job's kernel with its lowering executed on the functional
+        machine, so post-run state (``output()``, memory buffers) is
+        populated exactly as on the pre-engine serial path."""
+        kernel = self._get_kernel(job.kernel, job.scale, **dict(job.kwargs))
+        trace_key = (job.kernel, job.scale, job.kwargs, job.kind, job.config.simd_lanes)
+        if trace_key not in self._traced:
+            if job.kind == "rvv":
+                kernel.trace_rvv(simd_lanes=job.config.simd_lanes)
+            else:
+                kernel.trace_mve(simd_lanes=job.config.simd_lanes)
+            self._traced.add(trace_key)
+        return kernel
+
+    def job(
+        self,
+        name: str,
+        kind: str = "mve",
+        scale: Optional[float] = None,
+        config: Optional[MachineConfig] = None,
+        scheme_name: Optional[str] = None,
+        **kernel_kwargs,
+    ) -> KernelJob:
+        """The fully-resolved simulation job for one runner request."""
+        scale = scale if scale is not None else self.default_scale
+        config = config or self.config
+        scheme_name = scheme_name or config.scheme_name
+        return KernelJob(
+            kernel=name,
+            kind=kind,
+            scale=scale,
+            kwargs=tuple(sorted(kernel_kwargs.items())),
+            scheme_name=scheme_name,
+            config=config,
+        )
+
+    def _run(self, job: KernelJob) -> KernelRun:
+        outcome = self.engine.run_one(job)
+        return KernelRun(
+            lambda: self._get_traced_kernel(job),
+            result=outcome.result,
+            spills=outcome.spills,
+        )
+
+    def prefetch(self, jobs: Iterable[KernelJob]) -> None:
+        """Execute a batch of jobs up front (in parallel when engine.jobs > 1).
+
+        Subsequent ``run_mve``/``run_rvv`` calls for the same jobs answer
+        from the engine memo; experiments call this with their full job set
+        so the serial result-assembly loop below stays trivially cheap.
+        """
+        self.engine.run_jobs(list(jobs))
 
     def run_mve(
         self,
@@ -63,25 +140,9 @@ class ExperimentRunner:
         **kernel_kwargs,
     ) -> KernelRun:
         """Simulate the MVE implementation of a kernel."""
-        scale = scale if scale is not None else self.default_scale
-        config = config or self.config
-        scheme_name = scheme_name or config.scheme_name
-        key = (
-            name,
-            scale,
-            scheme_name,
-            config.engine.num_arrays,
-            tuple(sorted(kernel_kwargs.items())),
+        return self._run(
+            self.job(name, "mve", scale=scale, config=config, scheme_name=scheme_name, **kernel_kwargs)
         )
-        if key not in self._mve_cache:
-            kernel = self._get_kernel(name, scale, **kernel_kwargs)
-            trace = kernel.trace_mve(simd_lanes=config.simd_lanes)
-            result, compiled = simulate_kernel(
-                trace, config=config, scheme=get_scheme(scheme_name)
-            )
-            spills = compiled.spill_count if compiled else 0
-            self._mve_cache[key] = KernelRun(kernel=kernel, result=result, spills=spills)
-        return self._mve_cache[key]
 
     def run_rvv(
         self,
@@ -92,30 +153,13 @@ class ExperimentRunner:
         **kernel_kwargs,
     ) -> KernelRun:
         """Simulate the 1D (RVV) lowering of a kernel on the same engine."""
-        scale = scale if scale is not None else self.default_scale
-        config = config or self.config
-        scheme_name = scheme_name or config.scheme_name
-        key = (
-            name,
-            scale,
-            scheme_name,
-            config.engine.num_arrays,
-            tuple(sorted(kernel_kwargs.items())),
+        return self._run(
+            self.job(name, "rvv", scale=scale, config=config, scheme_name=scheme_name, **kernel_kwargs)
         )
-        if key not in self._rvv_cache:
-            kernel = self._get_kernel(name, scale, **kernel_kwargs)
-            trace = kernel.trace_rvv(simd_lanes=config.simd_lanes)
-            result, compiled = simulate_kernel(
-                trace, config=config, scheme=get_scheme(scheme_name)
-            )
-            spills = compiled.spill_count if compiled else 0
-            self._rvv_cache[key] = KernelRun(kernel=kernel, result=result, spills=spills)
-        return self._rvv_cache[key]
 
     def run_neon(self, name: str, scale: Optional[float] = None, **kernel_kwargs) -> NeonResult:
         scale = scale if scale is not None else self.default_scale
         kernel = self._get_kernel(name, scale, **kernel_kwargs)
-        kernel.setup()
         return NeonModel(self.config).run(kernel.profile())
 
     def run_gpu(
@@ -127,5 +171,4 @@ class ExperimentRunner:
     ) -> GPUResult:
         scale = scale if scale is not None else self.default_scale
         kernel = self._get_kernel(name, scale, **kernel_kwargs)
-        kernel.setup()
         return GPUModel().run(kernel.profile(), include_transfer=include_transfer)

@@ -1,0 +1,270 @@
+"""Declarative kernel sweeps with parallel execution and persistent caching.
+
+This is the execution engine underneath every experiment module: a sweep is
+the Cartesian product of kernels x lowerings x schemes x machine configs,
+each point an independent, deterministic simulation job.  The engine
+
+* deduplicates jobs and answers repeats from an in-process memo,
+* answers previously-simulated jobs from the persistent, content-addressed
+  :class:`~repro.core.cache.ResultStore` (keyed by the full machine config
+  and a source-tree fingerprint, so results can never go stale), and
+* shards the remaining jobs across a ``ProcessPoolExecutor`` -- simulation
+  is pure Python + numpy, so process-level parallelism is the only way to
+  use more than one core.
+
+``python -m repro.sweep`` exposes the same engine as a batch CLI; the
+:class:`~repro.experiments.runner.ExperimentRunner` sits on top of it so the
+figure modules, the benchmark suite and the example scripts all share one
+cache.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from ..core.cache import ResultStore, code_fingerprint, config_digest, stable_hash
+from ..core.config import MachineConfig, default_config
+from ..core.results import SimulationResult
+from ..core.simulator import simulate_kernel
+from ..sram.schemes import get_scheme
+from ..workloads import get_kernel_class
+
+__all__ = [
+    "KernelJob",
+    "JobOutcome",
+    "SweepSpec",
+    "SweepResult",
+    "ParallelSweepEngine",
+    "execute_job",
+    "default_job_count",
+]
+
+
+def default_job_count() -> int:
+    """Worker processes to use when the caller does not say: all cores."""
+    env = os.environ.get("REPRO_SWEEP_JOBS")
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class KernelJob:
+    """One independent simulation: a kernel lowering on one configuration."""
+
+    kernel: str
+    kind: str = "mve"  # "mve" or "rvv"
+    scale: float = 0.5
+    kwargs: tuple[tuple[str, Any], ...] = ()
+    scheme_name: str = "bit-serial"
+    config: MachineConfig = field(default_factory=default_config)
+
+    def __post_init__(self):
+        if self.kind not in ("mve", "rvv"):
+            raise ValueError(f"unknown trace kind {self.kind!r}")
+        # Normalize so scheme_name and config.scheme_name never disagree:
+        # the simulation only reads scheme_name, and without this two jobs
+        # describing the same simulation would hash to different cache keys.
+        if self.config.scheme_name != self.scheme_name:
+            object.__setattr__(self, "config", self.config.with_scheme(self.scheme_name))
+
+    def cache_key(self) -> str:
+        """Content hash identifying this job's result in the persistent store."""
+        return stable_hash(
+            {
+                "fingerprint": code_fingerprint(),
+                "kernel": self.kernel,
+                "kind": self.kind,
+                "scale": self.scale,
+                "kwargs": list(self.kwargs),
+                "scheme": self.scheme_name,
+                "config": config_digest(self.config),
+            }
+        )
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.kwargs)
+        suffix = f", {params}" if params else ""
+        return f"{self.kernel}/{self.kind} (scale={self.scale}{suffix}, {self.scheme_name})"
+
+
+@dataclass
+class JobOutcome:
+    """Simulation result of one job plus where it came from."""
+
+    result: SimulationResult
+    spills: int = 0
+    #: "computed", "memo" (in-process) or "disk" (persistent store)
+    source: str = "computed"
+
+
+def execute_job(job: KernelJob) -> JobOutcome:
+    """Build the kernel, trace the requested lowering and simulate it.
+
+    Module-level so worker processes can import it by qualified name.
+    """
+    kernel = get_kernel_class(job.kernel)(scale=job.scale, **dict(job.kwargs))
+    if job.kind == "rvv":
+        trace = kernel.trace_rvv(simd_lanes=job.config.simd_lanes)
+    else:
+        trace = kernel.trace_mve(simd_lanes=job.config.simd_lanes)
+    result, compiled = simulate_kernel(
+        trace, config=job.config, scheme=get_scheme(job.scheme_name)
+    )
+    return JobOutcome(result=result, spills=compiled.spill_count if compiled else 0)
+
+
+class ParallelSweepEngine:
+    """Executes :class:`KernelJob` batches with memoization and sharding.
+
+    ``jobs=1`` runs everything in-process (no pool is ever created), which
+    is the default for the interactive :class:`ExperimentRunner`; the CLI
+    and the benchmark session pass higher counts.
+    """
+
+    def __init__(self, jobs: int = 1, store: Optional[ResultStore] = None):
+        self.jobs = max(1, jobs)
+        self.store = store
+        self.computed = 0
+        self._memo: dict[KernelJob, JobOutcome] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _from_store(self, job: KernelJob) -> Optional[JobOutcome]:
+        if self.store is None:
+            return None
+        payload = self.store.load(job.cache_key())
+        if payload is None:
+            return None
+        try:
+            return JobOutcome(
+                result=SimulationResult.from_dict(payload["result"]),
+                spills=int(payload["spills"]),
+                source="disk",
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _to_store(self, job: KernelJob, outcome: JobOutcome) -> None:
+        if self.store is None:
+            return
+        self.store.store(
+            job.cache_key(),
+            {"result": outcome.result.to_dict(), "spills": outcome.spills},
+        )
+
+    def _execute_batch(self, pending: list[KernelJob]) -> list[JobOutcome]:
+        if self.jobs > 1 and len(pending) > 1:
+            try:
+                import multiprocessing
+
+                context = None
+                if "fork" in multiprocessing.get_all_start_methods():
+                    context = multiprocessing.get_context("fork")
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                    return list(pool.map(execute_job, pending))
+            except (OSError, BrokenProcessPool):
+                # Restricted environments (fork blocked, or workers killed on
+                # startup by seccomp/cgroups): degrade to the serial path
+                # rather than failing the sweep.
+                pass
+        return [execute_job(job) for job in pending]
+
+    def run_jobs(self, jobs: Sequence[KernelJob]) -> dict[KernelJob, JobOutcome]:
+        """Execute (or recall) every distinct job; returns job -> outcome."""
+        distinct = list(dict.fromkeys(jobs))
+        outcomes: dict[KernelJob, JobOutcome] = {}
+        pending: list[KernelJob] = []
+        for job in distinct:
+            memo = self._memo.get(job)
+            if memo is not None:
+                outcomes[job] = JobOutcome(memo.result, memo.spills, source="memo")
+                continue
+            stored = self._from_store(job)
+            if stored is not None:
+                self._memo[job] = stored
+                outcomes[job] = stored
+                continue
+            pending.append(job)
+        if pending:
+            for job, outcome in zip(pending, self._execute_batch(pending)):
+                self.computed += 1
+                self._memo[job] = outcome
+                self._to_store(job, outcome)
+                outcomes[job] = outcome
+        return outcomes
+
+    def run_one(self, job: KernelJob) -> JobOutcome:
+        return self.run_jobs([job])[job]
+
+
+# ---------------------------------------------------------------------- #
+#  Declarative sweeps
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class SweepSpec:
+    """The Cartesian product of kernels x kinds x schemes x configurations.
+
+    ``kernels`` maps a kernel name to its run parameters; ``scale`` inside
+    the parameter dict overrides ``default_scale``, everything else is
+    forwarded to the kernel constructor.  Adding a new sweep axis means
+    adding a field here and expanding it in :meth:`jobs` -- the engine and
+    cache key handle any ``MachineConfig`` change automatically.
+    """
+
+    name: str = "sweep"
+    kernels: Sequence[tuple[str, Mapping[str, Any]]] = ()
+    kinds: Sequence[str] = ("mve",)
+    schemes: Sequence[str] = ("bit-serial",)
+    #: engine-size axis; None keeps the base config's array count
+    array_counts: Optional[Sequence[int]] = None
+    default_scale: float = 0.5
+    base_config: MachineConfig = field(default_factory=default_config)
+
+    def configs(self) -> list[MachineConfig]:
+        if not self.array_counts:
+            return [self.base_config]
+        return [self.base_config.with_arrays(count) for count in self.array_counts]
+
+    def jobs(self) -> list[KernelJob]:
+        expanded: list[KernelJob] = []
+        for kernel, params in self.kernels:
+            params = dict(params)
+            scale = params.pop("scale", self.default_scale)
+            kwargs = tuple(sorted(params.items()))
+            for config in self.configs():
+                for scheme in self.schemes:
+                    for kind in self.kinds:
+                        expanded.append(
+                            KernelJob(
+                                kernel=kernel,
+                                kind=kind,
+                                scale=scale,
+                                kwargs=kwargs,
+                                scheme_name=scheme,
+                                config=config,
+                            )
+                        )
+        return expanded
+
+
+@dataclass
+class SweepResult:
+    spec: SweepSpec
+    outcomes: dict[KernelJob, JobOutcome]
+    elapsed_s: float = 0.0
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.source == "computed")
+
+    @property
+    def from_cache(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.source != "computed")

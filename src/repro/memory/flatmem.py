@@ -112,30 +112,36 @@ class FlatMemory:
         """Gather elements of ``dtype`` from arbitrary byte addresses."""
         addresses = np.asarray(addresses, dtype=np.int64)
         offsets = addresses - self.base_address
-        if offsets.size and (offsets.min() < 0 or offsets.max() + dtype.bytes > self.size):
+        if offsets.size == 0:
+            return np.empty(0, dtype=dtype.numpy_dtype)
+        if offsets.min() < 0 or offsets.max() + dtype.bytes > self.size:
             raise IndexError("gather address outside flat memory")
-        out = np.empty(addresses.size, dtype=dtype.numpy_dtype)
         itemsize = dtype.bytes
-        flat = self._data
-        for i, off in enumerate(offsets):
-            out[i] = flat[off : off + itemsize].view(dtype.numpy_dtype)[0]
-        return out
+        byte_index = offsets[:, None] + np.arange(itemsize, dtype=np.int64)
+        return self._data[byte_index].reshape(-1).view(dtype.numpy_dtype)
 
     def write_elements(self, addresses: np.ndarray, values: np.ndarray, dtype: DataType) -> None:
         """Scatter elements of ``dtype`` to arbitrary byte addresses."""
         addresses = np.asarray(addresses, dtype=np.int64)
-        values = np.asarray(values, dtype=dtype.numpy_dtype).reshape(-1)
+        values = np.ascontiguousarray(values, dtype=dtype.numpy_dtype).reshape(-1)
         if addresses.size != values.size:
             raise ValueError("address and value counts differ")
         offsets = addresses - self.base_address
-        if offsets.size and (offsets.min() < 0 or offsets.max() + dtype.bytes > self.size):
+        if offsets.size == 0:
+            return
+        if offsets.min() < 0 or offsets.max() + dtype.bytes > self.size:
             raise IndexError("scatter address outside flat memory")
         itemsize = dtype.bytes
         flat = self._data
-        for off, value in zip(offsets, values):
-            flat[off : off + itemsize] = np.frombuffer(
-                np.asarray(value, dtype=dtype.numpy_dtype).tobytes(), dtype=np.uint8
-            )
+        value_bytes = values.view(np.uint8).reshape(-1, itemsize)
+        if np.unique(offsets).size == offsets.size:
+            byte_index = offsets[:, None] + np.arange(itemsize, dtype=np.int64)
+            flat[byte_index] = value_bytes
+            return
+        # Duplicate target addresses: fall back to the in-order scatter so the
+        # last write wins, matching sequential store semantics.
+        for i, off in enumerate(offsets):
+            flat[off : off + itemsize] = value_bytes[i]
 
     def read_pointer_table(self, address: int, count: int) -> np.ndarray:
         """Read ``count`` 64-bit pointers starting at ``address``."""

@@ -141,6 +141,151 @@ class TestFunctionalProperties:
         value = machine.vsld(DataType.INT32, allocation.address, (1, 3))
         np.testing.assert_array_equal(value.values, matrix[:, :tile_cols].reshape(-1))
 
+    @given(int32_arrays)
+    def test_sub_matches_numpy(self, values):
+        machine, vector, _ = _machine_with(values, DataType.INT32)
+        arr = np.asarray(values, dtype=np.int32)
+        shifted = machine.vshr_imm(vector, 1)
+        np.testing.assert_array_equal(
+            machine.vsub(vector, shifted).values, arr - (arr >> 1)
+        )
+
+    @given(st.lists(st.integers(min_value=-(2**15), max_value=2**15 - 1), min_size=1, max_size=64))
+    def test_mul_matches_numpy(self, values):
+        machine, vector, _ = _machine_with(values, DataType.INT32)
+        expected = np.asarray(values, dtype=np.int32) * np.asarray(values, dtype=np.int32)
+        np.testing.assert_array_equal(machine.vmul(vector, vector).values, expected)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_float_add_matches_numpy(self, values):
+        machine, vector, _ = _machine_with(values, DataType.FLOAT32)
+        arr = np.asarray(values, dtype=np.float32)
+        np.testing.assert_array_equal(machine.vadd(vector, vector).values, arr + arr)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64))
+    def test_and_or_match_numpy(self, values):
+        machine, vector, _ = _machine_with(values, DataType.UINT8)
+        arr = np.asarray(values, dtype=np.uint8)
+        mask = machine.vsetdup(DataType.UINT8, 0x0F)
+        np.testing.assert_array_equal(machine.vand(vector, mask).values, arr & 0x0F)
+        np.testing.assert_array_equal(machine.vor(vector, mask).values, arr | 0x0F)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=32),
+        st.integers(min_value=0, max_value=7),
+    )
+    def test_shift_left_matches_numpy(self, values, amount):
+        machine, vector, _ = _machine_with(values, DataType.UINT8)
+        expected = (np.asarray(values, dtype=np.uint16) << amount).astype(np.uint8)
+        np.testing.assert_array_equal(machine.vshl_imm(vector, amount).values, expected)
+
+    @given(int32_arrays)
+    def test_vcpy_is_identity(self, values):
+        machine, vector, _ = _machine_with(values, DataType.INT32)
+        np.testing.assert_array_equal(
+            machine.vcpy(vector).values, np.asarray(values, dtype=np.int32)
+        )
+
+    @given(st.lists(st.integers(min_value=-(2**20), max_value=2**20), min_size=1, max_size=64))
+    def test_vcvt_matches_numpy_astype(self, values):
+        machine, vector, _ = _machine_with(values, DataType.INT32)
+        converted = machine.vcvt(vector, DataType.FLOAT32)
+        np.testing.assert_array_equal(
+            converted.values, np.asarray(values, dtype=np.int32).astype(np.float32)
+        )
+
+    @given(int32_arrays)
+    def test_comparisons_match_numpy(self, values):
+        machine, vector, _ = _machine_with(values, DataType.INT32)
+        zero = machine.vsetdup(DataType.INT32, 0)
+        arr = np.asarray(values, dtype=np.int32)
+        np.testing.assert_array_equal(machine.vgt(vector, zero).values != 0, arr > 0)
+        np.testing.assert_array_equal(machine.vlte(vector, zero).values != 0, arr <= 0)
+
+
+class TestMemoryProperties:
+    @given(
+        st.lists(st.integers(min_value=-(2**30), max_value=2**30 - 1), min_size=1, max_size=32),
+        st.integers(min_value=2, max_value=5),
+    )
+    def test_strided_store_matches_numpy_slicing(self, values, stride):
+        machine, vector, _ = _machine_with(values, DataType.INT32)
+        out = machine.memory.allocate(DataType.INT32, len(values) * stride)
+        machine.vsetststr(0, stride)
+        machine.vsst(vector, out.address, (3,))
+        np.testing.assert_array_equal(
+            out.read()[:: stride][: len(values)], np.asarray(values, dtype=np.int32)
+        )
+
+    @given(st.permutations(list(range(16))))
+    def test_random_load_matches_fancy_indexing(self, order):
+        memory = FlatMemory()
+        machine = MVEMachine(memory)
+        data = np.arange(100, 100 + len(order), dtype=np.int32)
+        allocation = memory.allocate_array(data, DataType.INT32)
+        pointers = np.asarray(
+            [allocation.address + index * 4 for index in order], dtype=np.uint64
+        )
+        table = memory.allocate_array(pointers, DataType.UINT64)
+        machine.vsetdimc(1)
+        machine.vsetdiml(0, len(order))
+        gathered = machine.vrld(DataType.INT32, table.address, (1,))
+        np.testing.assert_array_equal(gathered.values, data[np.asarray(order)])
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_2d_load_store_roundtrip(self, rows, cols):
+        matrix = np.arange(rows * cols, dtype=np.int32).reshape(rows, cols)
+        memory = FlatMemory()
+        machine = MVEMachine(memory)
+        source = memory.allocate_array(matrix.reshape(-1), DataType.INT32)
+        dest = memory.allocate(DataType.INT32, rows * cols)
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, cols)
+        machine.vsetdiml(1, rows)
+        value = machine.vsld(DataType.INT32, source.address, (1, 2))
+        machine.vsst(value, dest.address, (1, 2))
+        np.testing.assert_array_equal(dest.read().reshape(rows, cols), matrix)
+
+    @given(
+        st.lists(st.integers(min_value=-(2**30), max_value=2**30 - 1), min_size=4, max_size=32),
+        st.sets(st.integers(min_value=0, max_value=3), min_size=1, max_size=3),
+    )
+    def test_masked_store_leaves_masked_rows_untouched(self, values, masked_off):
+        rows = 4
+        cols = len(values) // rows
+        if cols == 0:
+            return
+        values = values[: rows * cols]
+        memory = FlatMemory()
+        machine = MVEMachine(memory)
+        source = memory.allocate_array(np.asarray(values, np.int32), DataType.INT32)
+        sentinel = np.full(rows * cols, -1, dtype=np.int32)
+        dest = memory.allocate_array(sentinel, DataType.INT32)
+        machine.vsetdimc(2)
+        machine.vsetdiml(0, cols)
+        machine.vsetdiml(1, rows)
+        value = machine.vsld(DataType.INT32, source.address, (1, 2))
+        for row in masked_off:
+            machine.vunsetmask(row)
+        machine.vsst(value, dest.address, (1, 2))
+        machine.vresetmask()
+        written = dest.read().reshape(rows, cols)
+        expected = np.asarray(values, np.int32).reshape(rows, cols)
+        for row in range(rows):
+            if row in masked_off:
+                np.testing.assert_array_equal(written[row], np.full(cols, -1, np.int32))
+            else:
+                np.testing.assert_array_equal(written[row], expected[row])
+
     @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=2, max_size=64))
     def test_tree_reduce_preserves_sum(self, values):
         from repro.workloads.base import tree_reduce
