@@ -66,6 +66,23 @@ class GPUResult:
     def kernel_only_time_ms(self) -> float:
         return (self.kernel_time_s + self.launch_time_s) * 1e3
 
+    def to_dict(self) -> dict:
+        return {
+            "kernel_time_s": self.kernel_time_s,
+            "transfer_time_s": self.transfer_time_s,
+            "launch_time_s": self.launch_time_s,
+            "energy_j": self.energy_j,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GPUResult":
+        return cls(
+            kernel_time_s=float(data["kernel_time_s"]),
+            transfer_time_s=float(data["transfer_time_s"]),
+            launch_time_s=float(data["launch_time_s"]),
+            energy_j=float(data["energy_j"]),
+        )
+
 
 class GPUModel:
     """Analytic mobile-GPU model with launch and copy overheads."""

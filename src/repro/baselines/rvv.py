@@ -14,7 +14,7 @@ emitter those lowerings use plus a convenience runner.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Optional, Sequence, TYPE_CHECKING
 
 from ..core.config import MachineConfig, default_config
 from ..core.results import SimulationResult
@@ -24,6 +24,9 @@ from ..intrinsics.mdv import MDV
 from ..isa.datatypes import DataType
 from ..isa.instructions import TraceEntry
 from ..sram.schemes import ComputeScheme
+
+if TYPE_CHECKING:
+    from ..core.cache import ResultStore
 
 __all__ = ["RVVEmitter", "run_rvv_trace"]
 
@@ -130,8 +133,41 @@ def run_rvv_trace(
     trace: Sequence[TraceEntry],
     config: Optional[MachineConfig] = None,
     scheme: Optional[ComputeScheme] = None,
+    store: Optional["ResultStore"] = None,
 ) -> SimulationResult:
-    """Compile and simulate an RVV-style trace on the in-cache engine."""
+    """Compile and simulate an RVV-style trace on the in-cache engine.
+
+    The simulation drives the same (vectorized, or ``REPRO_SCALAR_CACHE=1``
+    reference) cache engine as the MVE path.  Passing a
+    :class:`~repro.core.cache.ResultStore` answers repeated traces from the
+    persistent cache, keyed -- like every simulator job -- by the trace
+    content, the full machine configuration and the source fingerprint.
+    """
     config = config or default_config()
+    key = None
+    if store is not None:
+        from ..core.cache import (
+            code_fingerprint,
+            config_digest,
+            load_cached_result,
+            stable_hash,
+        )
+
+        key = stable_hash(
+            {
+                "baseline": "rvv-trace",
+                "fingerprint": code_fingerprint(),
+                "trace": [repr(entry) for entry in trace],
+                "scheme": scheme.name if scheme is not None else config.scheme_name,
+                "config": config_digest(config),
+            }
+        )
+        cached = load_cached_result(store, key, SimulationResult)
+        if cached is not None:
+            return cached
     result, _ = simulate_kernel(trace, config=config, scheme=scheme)
+    if key is not None:
+        from ..core.cache import store_cached_result
+
+        store_cached_result(store, key, result)
     return result

@@ -48,12 +48,21 @@ def element_addresses(instruction: MemoryInstruction) -> np.ndarray:
 
 
 def cache_line_addresses(instruction: MemoryInstruction, line_bytes: int = 64) -> np.ndarray:
-    """Unique cache-line base addresses touched by a vector memory access."""
+    """Unique cache-line base addresses touched by a vector memory access.
+
+    Returns a sorted, deduplicated int64 array that flows into
+    :meth:`~repro.memory.cache.CacheHierarchy.vector_block_access` unchanged
+    -- the footprint stays an ndarray from address generation through the
+    cache engine, with no Python-list round-trip.
+    """
     addresses = element_addresses(instruction)
     if addresses.size == 0:
-        return addresses
-    lines = np.unique(addresses // line_bytes) * line_bytes
-    return lines
+        return addresses.astype(np.int64, copy=False)
+    lines = np.sort(addresses // line_bytes)
+    keep = np.empty(lines.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    return lines[keep] * line_bytes
 
 
 def address_range(instruction: MemoryInstruction) -> tuple[int, int]:

@@ -65,8 +65,7 @@ class MVEControllerModel:
         mask = getattr(instruction, "mask", ())
         if mask:
             inner = total // lengths[-1]
-            active_high = sum(1 for bit in mask if bit)
-            return inner * active_high
+            return inner * sum(mask)
         return total
 
     def placement(self, instruction, element_bits: int) -> InstructionPlacement:
@@ -93,8 +92,18 @@ class MVEControllerModel:
             repeats=repeats,
         )
 
-    def compute_sram_cycles(self, instruction, element_bits: int, float_factor: float) -> float:
-        """SRAM cycles for an arithmetic or move instruction."""
+    def compute_sram_cycles(
+        self,
+        instruction,
+        element_bits: int,
+        float_factor: float,
+        placement: InstructionPlacement | None = None,
+    ) -> float:
+        """SRAM cycles for an arithmetic or move instruction.
+
+        ``placement`` may carry the caller's already-computed placement for
+        this instruction to avoid resolving the mapping twice.
+        """
         if isinstance(instruction, MoveInstruction):
             opcode = Opcode.CONVERT if instruction.opcode is Opcode.CONVERT else Opcode.COPY
             dtype = instruction.dtype
@@ -107,7 +116,8 @@ class MVEControllerModel:
         latency = self.scheme.op_latency(opcode, bits)
         if dtype.is_float:
             latency *= float_factor
-        placement = self.placement(instruction, bits)
+        if placement is None:
+            placement = self.placement(instruction, bits)
         return latency * placement.repeats
 
     def memory_row_cycles(self, instruction: MemoryInstruction) -> float:

@@ -22,6 +22,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..compiler.pipeline import CompiledKernel, compile_trace
 from ..isa.instructions import (
     InstructionCategory,
@@ -31,7 +33,7 @@ from ..isa.instructions import (
     TraceEntry,
 )
 from ..isa.registers import PhysicalRegisterFile
-from ..memory.cache import CacheHierarchy
+from ..memory.cache import make_hierarchy
 from ..sram.schemes import ComputeScheme, get_scheme
 from ..sram.tmu import TransposeMemoryUnit
 from .address_gen import cache_line_addresses
@@ -55,7 +57,7 @@ class MVESimulator:
     ):
         self.config = config or default_config()
         self.scheme = scheme or get_scheme(self.config.scheme_name)
-        self.hierarchy = CacheHierarchy(
+        self.hierarchy = make_hierarchy(
             self.config.hierarchy, l2_compute_ways=self.config.l2_compute_ways
         )
         self.controller = MVEControllerModel(self.config.engine, self.scheme)
@@ -65,7 +67,9 @@ class MVESimulator:
         # instruction, so they are memoized per instruction object: warm-cache
         # runs replay the same trace and skip the address expansion entirely.
         # The instruction is kept in the value to pin its id() against reuse.
-        self._line_memo: dict[int, tuple[MemoryInstruction, list[int]]] = {}
+        # Footprints stay ndarrays end-to-end: address generation, the memo
+        # and the cache engine's block access all speak int64 arrays.
+        self._line_memo: dict[int, tuple[MemoryInstruction, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -149,7 +153,7 @@ class MVESimulator:
                 data_access += duration
             else:
                 sram_cycles = self.controller.compute_sram_cycles(
-                    instruction, element_bits, config.float_latency_factor
+                    instruction, element_bits, config.float_latency_factor, placement
                 )
                 duration = sram_cycles * config.sram_cycle_multiplier + dispatch
                 compute += duration
@@ -207,7 +211,7 @@ class MVESimulator:
 
         memo = self._line_memo.get(id(instruction))
         if memo is None or memo[0] is not instruction:
-            lines = cache_line_addresses(instruction, hierarchy.line_bytes).tolist()
+            lines = cache_line_addresses(instruction, hierarchy.line_bytes)
             self._line_memo[id(instruction)] = (instruction, lines)
         else:
             lines = memo[1]

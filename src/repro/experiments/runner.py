@@ -16,7 +16,14 @@ from typing import Callable, Iterable, Optional, Union
 
 from ..baselines.gpu import GPUModel, GPUResult
 from ..baselines.neon import NeonModel, NeonResult
-from ..core.cache import ResultStore
+from ..core.cache import (
+    ResultStore,
+    code_fingerprint,
+    config_digest,
+    load_cached_result,
+    stable_hash,
+    store_cached_result,
+)
 from ..core.config import MachineConfig, default_config
 from ..core.results import SimulationResult
 from ..workloads.base import Kernel
@@ -157,10 +164,41 @@ class ExperimentRunner:
             self.job(name, "rvv", scale=scale, config=config, scheme_name=scheme_name, **kernel_kwargs)
         )
 
+    # -- baseline models (persistent-cached like the simulator jobs) ------ #
+
+    def _baseline_key(self, baseline: str, name: str, scale: float, extra: dict) -> str:
+        """Cache key mirroring :meth:`KernelJob.cache_key`: full config,
+        kernel identity and the source-tree fingerprint."""
+        return stable_hash(
+            {
+                "baseline": baseline,
+                "fingerprint": code_fingerprint(),
+                "kernel": name,
+                "scale": scale,
+                "extra": sorted(extra.items()),
+                "config": config_digest(self.config),
+            }
+        )
+
+    def _baseline_cached(self, key: str, result_type):
+        return load_cached_result(self.engine.store, key, result_type)
+
+    def _baseline_store(self, key: str, result) -> None:
+        store_cached_result(self.engine.store, key, result)
+
     def run_neon(self, name: str, scale: Optional[float] = None, **kernel_kwargs) -> NeonResult:
+        """The Neon baseline for a kernel, answered from the persistent
+        store when possible (its cache traffic runs on the same engine as
+        the MVE simulations, so recomputation is no longer trivial)."""
         scale = scale if scale is not None else self.default_scale
+        key = self._baseline_key("neon", name, scale, dict(kernel_kwargs))
+        cached = self._baseline_cached(key, NeonResult)
+        if cached is not None:
+            return cached
         kernel = self._get_kernel(name, scale, **kernel_kwargs)
-        return NeonModel(self.config).run(kernel.profile())
+        result = NeonModel(self.config).run(kernel.profile())
+        self._baseline_store(key, result)
+        return result
 
     def run_gpu(
         self,
@@ -170,5 +208,13 @@ class ExperimentRunner:
         **kernel_kwargs,
     ) -> GPUResult:
         scale = scale if scale is not None else self.default_scale
+        key = self._baseline_key(
+            "gpu", name, scale, {"include_transfer": include_transfer, **kernel_kwargs}
+        )
+        cached = self._baseline_cached(key, GPUResult)
+        if cached is not None:
+            return cached
         kernel = self._get_kernel(name, scale, **kernel_kwargs)
-        return GPUModel().run(kernel.profile(), include_transfer=include_transfer)
+        result = GPUModel().run(kernel.profile(), include_transfer=include_transfer)
+        self._baseline_store(key, result)
+        return result

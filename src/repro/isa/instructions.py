@@ -188,8 +188,7 @@ class MemoryInstruction(MVEInstruction):
             inner *= length
         if not self.mask:
             return self.total_elements
-        active_high = sum(1 for bit in self.mask if bit)
-        return inner * active_high
+        return inner * sum(self.mask)
 
     def assembly(self) -> str:
         modes = ",".join(str(int(m)) for m in self.stride_modes)

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from .encoding import MAX_DIMS
 
 __all__ = [
@@ -188,7 +190,9 @@ class ControlRegisters:
         if length <= MAX_MASK_ELEMENTS:
             return self.dim_mask[:length]
         group = (length + MAX_MASK_ELEMENTS - 1) // MAX_MASK_ELEMENTS
-        return [self.dim_mask[index // group] for index in range(length)]
+        groups = (length + group - 1) // group
+        expanded = np.repeat(np.asarray(self.dim_mask[:groups], dtype=bool), group)
+        return expanded[:length].tolist()
 
     def copy(self) -> "ControlRegisters":
         clone = ControlRegisters(

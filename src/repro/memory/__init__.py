@@ -9,7 +9,9 @@ from .cache import (
     CacheHierarchy,
     CacheStats,
     HierarchyConfig,
+    make_hierarchy,
 )
+from .vector_cache import VectorCache, VectorCacheHierarchy
 
 __all__ = [
     "Allocation",
@@ -23,4 +25,7 @@ __all__ = [
     "CacheHierarchy",
     "CacheStats",
     "HierarchyConfig",
+    "VectorCache",
+    "VectorCacheHierarchy",
+    "make_hierarchy",
 ]

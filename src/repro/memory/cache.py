@@ -6,16 +6,43 @@ can be repurposed for in-cache computing) and a 2 MB shared LLC, backed by
 the DRAM model.  Each level tracks hit/miss statistics and models a limited
 number of Miss Status Holding Registers (MSHRs) which bound the memory-level
 parallelism available to wide vector gathers.
+
+Two interchangeable implementations exist:
+
+* :class:`Cache`/:class:`CacheHierarchy` (this module) -- the scalar,
+  per-line reference implementation, and
+* :class:`~repro.memory.vector_cache.VectorCache` /
+  :class:`~repro.memory.vector_cache.VectorCacheHierarchy` -- a batched,
+  numpy-backed engine that processes a whole vector op's line list in array
+  form and is bit-for-bit identical to the reference.
+
+:func:`make_hierarchy` picks the vectorized engine unless
+``REPRO_SCALAR_CACHE=1`` is set in the environment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+import math
+import os
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
 
 from .dram import DRAMModel
 
-__all__ = ["CacheConfig", "Cache", "CacheStats", "CacheHierarchy", "AccessResult"]
+__all__ = [
+    "CacheConfig",
+    "Cache",
+    "CacheStats",
+    "CacheHierarchy",
+    "AccessResult",
+    "HierarchyConfig",
+    "make_hierarchy",
+]
+
+#: environment switch selecting the scalar reference implementation
+SCALAR_CACHE_ENV = "REPRO_SCALAR_CACHE"
 
 
 @dataclass(frozen=True)
@@ -61,6 +88,68 @@ class AccessResult:
     hit_level: str
 
 
+# ---------------------------------------------------------------------- #
+#  Shared helpers (used by both the scalar reference and the vector engine
+#  so the two paths cannot drift apart)
+# ---------------------------------------------------------------------- #
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    return -(-numerator // denominator)
+
+
+def dedup_lines(line_addresses: Union[np.ndarray, Iterable[int]]) -> np.ndarray:
+    """The line-address stream as an int64 array, deduplicated in
+    first-occurrence order (the order the MSHRs would see the requests)."""
+    if isinstance(line_addresses, np.ndarray):
+        lines = line_addresses.astype(np.int64, copy=False).ravel()
+    else:
+        lines = np.fromiter(line_addresses, dtype=np.int64)
+    if lines.size < 2:
+        return lines
+    if np.all(lines[1:] > lines[:-1]):
+        # Already strictly increasing (the common output of
+        # cache_line_addresses): sorted and unique by construction.
+        return lines
+    _, first = np.unique(lines, return_index=True)
+    first.sort()
+    return lines[first]
+
+
+def aggregate_block_cycles(
+    hit_count: int,
+    miss_latencies: Sequence[int],
+    mshr_entries: int,
+    hit_latency: int,
+    bandwidth_floor: float,
+    lines_per_cycle: int,
+) -> int:
+    """Combine per-line outcomes of one vector block access into cycles.
+
+    Hits stream bank-parallel after the initial access latency; misses
+    overlap in windows of ``mshr_entries`` outstanding requests but can
+    never beat the DRAM peak bandwidth.  Both the hit and the per-window
+    streaming terms use the same rounding (the first line arrives with the
+    base latency, the remaining ``n - 1`` stream at ``lines_per_cycle``,
+    rounded up) and the result is an integer cycle count.
+    """
+    hit_cycles = 0
+    if hit_count:
+        hit_cycles = hit_latency + _ceil_div(hit_count - 1, lines_per_cycle)
+    if not miss_latencies:
+        return hit_cycles
+    miss_cycles = 0
+    for start in range(0, len(miss_latencies), mshr_entries):
+        window = miss_latencies[start : start + mshr_entries]
+        miss_cycles += max(window) + _ceil_div(len(window) - 1, lines_per_cycle)
+    return hit_cycles + max(miss_cycles, math.ceil(bandwidth_floor))
+
+
+# ---------------------------------------------------------------------- #
+#  Scalar reference implementation
+# ---------------------------------------------------------------------- #
+
+
 class _Line:
     __slots__ = ("tag", "valid", "dirty", "present_in_l1", "lru")
 
@@ -73,26 +162,35 @@ class _Line:
 
 
 class Cache:
-    """One set-associative, write-back, LRU cache level."""
+    """One set-associative, write-back, LRU cache level (scalar reference)."""
 
     def __init__(self, config: CacheConfig):
         self.config = config
         self.stats = CacheStats()
         self._sets = [[_Line() for _ in range(config.ways)] for _ in range(config.num_sets)]
         self._tick = 0
+        #: line-aligned address evicted by the most recent single ``access``
+        #: (None when the access hit or filled an invalid way)
+        self.last_eviction: Optional[int] = None
 
     def reset(self) -> None:
         self.stats = CacheStats()
         for cache_set in self._sets:
             for line in cache_set:
+                line.tag = -1
                 line.valid = False
                 line.dirty = False
                 line.present_in_l1 = False
+                line.lru = 0
         self._tick = 0
+        self.last_eviction = None
 
     def _index_tag(self, address: int) -> tuple[int, int]:
         line_addr = address // self.config.line_bytes
         return line_addr % self.config.num_sets, line_addr // self.config.num_sets
+
+    def _line_address(self, index: int, tag: int) -> int:
+        return (tag * self.config.num_sets + index) * self.config.line_bytes
 
     def lookup(self, address: int) -> Optional[_Line]:
         """Return the resident line for ``address`` without updating stats."""
@@ -106,6 +204,14 @@ class Cache:
         """True if the line holding ``address`` is resident."""
         return self.lookup(address) is not None
 
+    def _select_victim(self, cache_set: list[_Line]) -> _Line:
+        """Invalid ways are filled before any valid line is evicted; among
+        valid lines the least-recently-used one goes."""
+        for line in cache_set:
+            if not line.valid:
+                return line
+        return min(cache_set, key=lambda candidate: candidate.lru)
+
     def access(self, address: int, is_write: bool = False) -> bool:
         """Access one cache line; returns True on hit.
 
@@ -113,6 +219,7 @@ class Cache:
         through the next level).
         """
         self._tick += 1
+        self.last_eviction = None
         index, tag = self._index_tag(address)
         cache_set = self._sets[index]
         for line in cache_set:
@@ -123,17 +230,31 @@ class Cache:
                 self.stats.hits += 1
                 return True
         self.stats.misses += 1
-        victim = min(cache_set, key=lambda candidate: candidate.lru)
+        victim = self._select_victim(cache_set)
         if victim.valid:
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.writebacks += 1
+            self.last_eviction = self._line_address(index, victim.tag)
         victim.tag = tag
         victim.valid = True
         victim.dirty = is_write
         victim.present_in_l1 = False
         victim.lru = self._tick
         return False
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line holding ``address`` (inclusive back-invalidation);
+        returns True if a line was resident.  No statistics are updated."""
+        line = self.lookup(address)
+        if line is None:
+            return False
+        line.valid = False
+        line.tag = -1
+        line.dirty = False
+        line.present_in_l1 = False
+        line.lru = 0
+        return True
 
     def mark_present_in_l1(self, address: int, present: bool = True) -> None:
         line = self.lookup(address)
@@ -174,7 +295,14 @@ class CacheHierarchy:
     ``l2_compute_ways`` of the L2 are repurposed for in-cache computing
     (default: half), which halves the cache capacity available to normal
     lookups while MVE is active.
+
+    Subclasses swap :attr:`cache_class` to change the per-level
+    implementation; the single-access logic below is shared so the scalar
+    and vectorized hierarchies agree by construction.
     """
+
+    #: per-level cache implementation used by this hierarchy
+    cache_class = Cache
 
     def __init__(
         self,
@@ -197,9 +325,9 @@ class CacheHierarchy:
             mshr_entries=l2_cfg.mshr_entries,
             inclusive=l2_cfg.inclusive,
         )
-        self.l1d = Cache(self.config.l1d)
-        self.l2 = Cache(l2_storage_cfg)
-        self.llc = Cache(self.config.llc)
+        self.l1d = self.cache_class(self.config.l1d)
+        self.l2 = self.cache_class(l2_storage_cfg)
+        self.llc = self.cache_class(self.config.llc)
 
     def reset(self) -> None:
         self.l1d.reset()
@@ -223,6 +351,12 @@ class CacheHierarchy:
         latency = self.config.l1d.hit_latency
         if self.l1d.access(address, is_write):
             return AccessResult(latency, "L1-D")
+        # The L1 fill may have displaced another line; the inclusive L2 must
+        # drop its presence bit or later engine-side accesses to that line
+        # pay a phantom coherence penalty.
+        evicted = self.l1d.last_eviction
+        if evicted is not None:
+            self.l2.mark_present_in_l1(evicted, False)
         result = self.l2_access(address, is_write, from_core=True)
         return AccessResult(latency + result.latency, result.hit_level)
 
@@ -243,6 +377,14 @@ class CacheHierarchy:
             if from_core:
                 self.l2.mark_present_in_l1(address, True)
             return AccessResult(latency + coherence_penalty, "L2")
+        # The install displaced an L2 victim; an inclusive L2 must
+        # back-invalidate the victim's L1 copy, or the L1 keeps serving a
+        # line the L2 no longer tracks (and later engine accesses to it
+        # would skip the coherence penalty bookkeeping entirely).  The LLC
+        # is modelled non-inclusive, so no such propagation happens there.
+        evicted = self.l2.last_eviction
+        if evicted is not None and self.config.l2.inclusive:
+            self.l1d.invalidate(evicted)
         latency += self.config.llc.hit_latency
         if self.llc.access(address, is_write):
             if from_core:
@@ -258,7 +400,7 @@ class CacheHierarchy:
     VECTOR_LINES_PER_CYCLE = 2
 
     def vector_block_access(
-        self, line_addresses: Iterable[int], is_write: bool = False
+        self, line_addresses: Union[np.ndarray, Iterable[int]], is_write: bool = False
     ) -> int:
         """Access a set of cache lines on behalf of one vector memory op.
 
@@ -266,35 +408,55 @@ class CacheHierarchy:
         the L2 MSHR count.  The returned value is the estimated cycles until
         all lines are available at the Transpose Memory Unit's input.
         """
-        lines = list(dict.fromkeys(line_addresses))
-        if not lines:
+        lines = dedup_lines(line_addresses)
+        if lines.size == 0:
             return 0
-        mshrs = self.config.l2.mshr_entries
-        hit_latency = self.config.l2.hit_latency
         hit_count = 0
         miss_latencies: list[int] = []
-        for line_addr in lines:
+        for line_addr in lines.tolist():
             result = self.l2_access(line_addr, is_write, from_core=False)
             if result.hit_level == "L2":
                 hit_count += 1
             else:
                 miss_latencies.append(result.latency)
-        # Hits stream bank-parallel after the initial access latency.
-        hit_cycles = 0
-        if hit_count:
-            hit_cycles = hit_latency + (hit_count - 1) // self.VECTOR_LINES_PER_CYCLE
-        if not miss_latencies:
-            return hit_cycles
-        # Misses overlap in windows of `mshrs` outstanding requests, but the
-        # aggregate can never beat the DRAM peak bandwidth.
-        miss_cycles = 0.0
-        for start in range(0, len(miss_latencies), mshrs):
-            window = miss_latencies[start : start + mshrs]
-            miss_cycles += max(window) + len(window) // self.VECTOR_LINES_PER_CYCLE
-        bandwidth_floor = self.dram.bandwidth_cycles(len(miss_latencies) * self.line_bytes)
-        return max(hit_cycles, 0) + max(miss_cycles, bandwidth_floor)
+        return aggregate_block_cycles(
+            hit_count,
+            miss_latencies,
+            self.config.l2.mshr_entries,
+            self.config.l2.hit_latency,
+            self.dram.bandwidth_cycles(len(miss_latencies) * self.line_bytes),
+            self.VECTOR_LINES_PER_CYCLE,
+        )
 
     def flush_dirty_cycles(self) -> int:
         """Cycles to flush dirty L2 lines before entering compute mode."""
         dirty = self.l2.dirty_line_count()
         return dirty * (self.config.llc.hit_latency // 2 + 1)
+
+
+def use_scalar_cache() -> bool:
+    """True when ``REPRO_SCALAR_CACHE=1`` selects the scalar reference."""
+    return os.environ.get(SCALAR_CACHE_ENV, "") == "1"
+
+
+def make_hierarchy(
+    config: HierarchyConfig | None = None,
+    dram: DRAMModel | None = None,
+    l2_compute_ways: int = 4,
+    scalar: Optional[bool] = None,
+) -> CacheHierarchy:
+    """Build the configured cache-hierarchy implementation.
+
+    The batched numpy engine is the default; ``scalar=True`` (or the
+    ``REPRO_SCALAR_CACHE=1`` environment switch) selects the per-line scalar
+    reference.  Both produce bit-for-bit identical results -- the scalar
+    path exists as the executable specification the vectorized engine is
+    tested against.
+    """
+    if scalar is None:
+        scalar = use_scalar_cache()
+    if scalar:
+        return CacheHierarchy(config, dram, l2_compute_ways)
+    from .vector_cache import VectorCacheHierarchy
+
+    return VectorCacheHierarchy(config, dram, l2_compute_ways)

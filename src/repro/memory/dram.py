@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["DRAMConfig", "DRAMModel", "DRAMStats"]
 
 
@@ -101,6 +103,71 @@ class DRAMModel:
         self.stats.bytes_transferred += size_bytes
         self.stats.busy_cycles += bursts * cfg.t_burst
         return latency
+
+    def access_batch(
+        self, addresses: np.ndarray, is_write: bool = False, size_bytes: int = 64
+    ) -> np.ndarray:
+        """Per-access latencies for a batch of accesses, in request order.
+
+        Bit-for-bit equivalent to calling :meth:`access` once per address in
+        sequence -- including the open-row state carried between accesses --
+        but with the row-buffer classification done in array form: requests
+        are stably grouped by (channel, bank), each compared against its
+        predecessor in the same bank (the first against the open-row table),
+        and the table updated with each bank's last row.
+        """
+        addresses = addresses.astype(np.int64, copy=False).ravel()
+        n = int(addresses.size)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        cfg = self.config
+        rows = addresses // cfg.row_size_bytes
+        channels = (addresses // cfg.burst_bytes) % cfg.num_channels
+        banks = rows % cfg.num_banks
+        keys = channels * cfg.num_banks + banks
+
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_rows = rows[order]
+        previous = np.empty(n, dtype=np.int64)
+        previous[1:] = sorted_rows[:-1]
+        group_start = np.empty(n, dtype=bool)
+        group_start[0] = True
+        group_start[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        for position in np.flatnonzero(group_start).tolist():
+            key = int(sorted_keys[position])
+            open_row = self._open_rows.get((key // cfg.num_banks, key % cfg.num_banks))
+            previous[position] = -1 if open_row is None else open_row
+
+        row_hit = previous == sorted_rows
+        bursts = max(1, (size_bytes + cfg.burst_bytes - 1) // cfg.burst_bytes)
+        per_access = (bursts - 1) * cfg.t_burst
+        sorted_latencies = np.where(
+            row_hit, cfg.row_hit_latency + per_access, cfg.row_miss_latency + per_access
+        ).astype(np.int64)
+
+        group_end = np.empty(n, dtype=bool)
+        group_end[-1] = True
+        group_end[:-1] = sorted_keys[1:] != sorted_keys[:-1]
+        for position in np.flatnonzero(group_end).tolist():
+            key = int(sorted_keys[position])
+            self._open_rows[(key // cfg.num_banks, key % cfg.num_banks)] = int(
+                sorted_rows[position]
+            )
+
+        hits = int(row_hit.sum())
+        self.stats.row_hits += hits
+        self.stats.row_misses += n - hits
+        if is_write:
+            self.stats.writes += n
+        else:
+            self.stats.reads += n
+        self.stats.bytes_transferred += n * size_bytes
+        self.stats.busy_cycles += n * bursts * cfg.t_burst
+
+        latencies = np.empty(n, dtype=np.int64)
+        latencies[order] = sorted_latencies
+        return latencies
 
     def bandwidth_cycles(self, total_bytes: int) -> float:
         """Minimum cycles needed to move ``total_bytes`` at peak bandwidth."""

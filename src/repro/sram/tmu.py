@@ -45,12 +45,16 @@ class TransposeMemoryUnit:
         if num_elements <= 0:
             return 0
         cfg = self.config
-        batches = math.ceil(num_elements / cfg.capacity_elements)
-        per_batch_elems = min(num_elements, cfg.capacity_elements)
-        route = math.ceil(per_batch_elems / cfg.crossbar_elements_per_cycle)
+        full_batches, remainder = divmod(num_elements, cfg.capacity_elements)
         stream = element_bits * cfg.row_transfer_cycles
+        route_full = math.ceil(cfg.capacity_elements / cfg.crossbar_elements_per_cycle)
+        cycles = full_batches * (route_full + stream)
+        if remainder:
+            # The final partial batch only routes the elements it actually
+            # holds, not the unit's full capacity.
+            cycles += math.ceil(remainder / cfg.crossbar_elements_per_cycle) + stream
         self.elements_transposed += num_elements
-        return batches * (route + stream)
+        return cycles
 
     def drain_cycles(self, num_elements: int, element_bits: int) -> int:
         """Cycles for the reverse (store) path; symmetric with :meth:`fill_cycles`."""

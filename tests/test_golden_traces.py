@@ -121,6 +121,15 @@ def test_parallel_engine_matches_serial_bit_for_bit(case, serial_outcomes, paral
     assert parallel.spills == serial.spills
 
 
+@pytest.mark.parametrize("case", GOLDEN_CASES[:3], ids=case_id)
+def test_scalar_cache_reference_matches_golden(case, serial_outcomes, monkeypatch):
+    """The scalar reference cache (REPRO_SCALAR_CACHE=1) reproduces the same
+    golden numbers bit-for-bit as the default vectorized engine."""
+    monkeypatch.setenv("REPRO_SCALAR_CACHE", "1")
+    scalar = execute_job(job_for(case))
+    assert scalar.result.to_dict() == serial_outcomes[case_id(case)].result.to_dict()
+
+
 def test_cached_reload_is_bit_for_bit(tmp_path, serial_outcomes):
     """A disk round-trip (simulate, persist, reload) loses nothing."""
     store = ResultStore(tmp_path / "cache")

@@ -1,4 +1,9 @@
-"""Unit tests for the memory substrates: flat memory, DRAM, caches."""
+"""Unit tests for the memory substrates: flat memory, DRAM, caches.
+
+The cache tests run against both implementations -- the scalar reference
+and the batched numpy engine -- via the ``cache_class`` / ``hierarchy_class``
+fixtures, so every behavioural assertion doubles as a parity check.
+"""
 
 import numpy as np
 import pytest
@@ -12,7 +17,20 @@ from repro.memory import (
     DRAMModel,
     FlatMemory,
     HierarchyConfig,
+    VectorCache,
+    VectorCacheHierarchy,
+    make_hierarchy,
 )
+
+
+@pytest.fixture(params=[Cache, VectorCache], ids=["scalar", "vector"])
+def cache_class(request):
+    return request.param
+
+
+@pytest.fixture(params=[CacheHierarchy, VectorCacheHierarchy], ids=["scalar", "vector"])
+def hierarchy_class(request):
+    return request.param
 
 
 class TestFlatMemory:
@@ -111,23 +129,24 @@ class TestDRAM:
         assert 0.0 <= dram.stats.row_hit_rate() <= 1.0
 
 
-class TestCache:
-    def make_cache(self, size=4096, ways=4, line=64):
-        return Cache(CacheConfig(name="test", size_bytes=size, ways=ways, line_bytes=line))
+def make_cache(cache_class, size=4096, ways=4, line=64):
+    return cache_class(CacheConfig(name="test", size_bytes=size, ways=ways, line_bytes=line))
 
-    def test_miss_then_hit(self):
-        cache = self.make_cache()
+
+class TestCache:
+    def test_miss_then_hit(self, cache_class):
+        cache = make_cache(cache_class)
         assert cache.access(0x100) is False
         assert cache.access(0x100) is True
         assert cache.stats.hits == 1 and cache.stats.misses == 1
 
-    def test_same_line_hits(self):
-        cache = self.make_cache()
+    def test_same_line_hits(self, cache_class):
+        cache = make_cache(cache_class)
         cache.access(0x100)
         assert cache.access(0x13C) is True  # same 64-byte line
 
-    def test_lru_eviction(self):
-        cache = self.make_cache(size=4 * 64, ways=4)  # one set
+    def test_lru_eviction(self, cache_class):
+        cache = make_cache(cache_class, size=4 * 64, ways=4)  # one set
         for i in range(4):
             cache.access(i * 64)
         cache.access(0)  # touch line 0 so it is MRU
@@ -135,22 +154,22 @@ class TestCache:
         assert cache.probe(0)
         assert not cache.probe(64)
 
-    def test_writeback_counted(self):
-        cache = self.make_cache(size=4 * 64, ways=4)
+    def test_writeback_counted(self, cache_class):
+        cache = make_cache(cache_class, size=4 * 64, ways=4)
         for i in range(4):
             cache.access(i * 64, is_write=True)
         cache.access(4 * 64)
         assert cache.stats.writebacks >= 1
 
-    def test_dirty_line_count(self):
-        cache = self.make_cache()
+    def test_dirty_line_count(self, cache_class):
+        cache = make_cache(cache_class)
         cache.access(0, is_write=True)
         cache.access(64, is_write=False)
         assert cache.dirty_line_count() == 1
         assert cache.valid_line_count() == 2
 
-    def test_presence_bit(self):
-        cache = self.make_cache()
+    def test_presence_bit(self, cache_class):
+        cache = make_cache(cache_class)
         cache.access(0x200)
         cache.mark_present_in_l1(0x200, True)
         assert cache.present_in_l1(0x200)
@@ -161,54 +180,206 @@ class TestCache:
         with pytest.raises(ValueError):
             CacheConfig(name="bad", size_bytes=32, ways=4).num_sets
 
+    def test_reset_clears_lru_state(self, cache_class):
+        """Regression: lru values surviving reset() while the tick restarts
+        at 0 made freshly-installed lines evict before never-touched ways."""
+        cache = make_cache(cache_class, size=4 * 64, ways=4)  # one set
+        for i in range(64):
+            cache.access(i * 64)  # drive the tick (and lru values) up
+        cache.reset()
+        cache.access(0)  # fresh line, lru=1
+        cache.access(64)  # must fill an invalid way, not evict line 0
+        assert cache.probe(0)
+        assert cache.probe(64)
+        assert cache.stats.evictions == 0
+        assert cache.valid_line_count() == 2
+
+    def test_invalid_ways_preferred_over_lru(self, cache_class):
+        """Victim selection fills invalid ways before evicting any valid
+        line, whatever lru values the invalid ways carry."""
+        cache = make_cache(cache_class, size=4 * 64, ways=4)
+        cache.access(0)
+        cache.access(64)
+        cache.access(128)  # three valid ways, one invalid
+        cache.access(192)
+        assert cache.stats.evictions == 0
+        cache.access(256)  # set full now: this one evicts LRU (line 0)
+        assert cache.stats.evictions == 1
+        assert not cache.probe(0)
+
+    def test_last_eviction_reports_line_address(self, cache_class):
+        cache = make_cache(cache_class, size=4 * 64, ways=4)
+        for i in range(4):
+            cache.access(i * 64)
+            assert cache.last_eviction is None
+        cache.access(4 * 64)
+        assert cache.last_eviction == 0  # line 0 was LRU
+        cache.access(4 * 64)
+        assert cache.last_eviction is None  # hit
+
 
 class TestCacheHierarchy:
-    def test_compute_ways_shrink_l2(self):
-        hierarchy = CacheHierarchy(l2_compute_ways=4)
+    def test_compute_ways_shrink_l2(self, hierarchy_class):
+        hierarchy = hierarchy_class(l2_compute_ways=4)
         assert hierarchy.l2.config.size_bytes == 256 * 1024
         assert hierarchy.l2.config.ways == 4
 
-    def test_core_access_fills_levels(self):
-        hierarchy = CacheHierarchy()
+    def test_core_access_fills_levels(self, hierarchy_class):
+        hierarchy = hierarchy_class()
         first = hierarchy.core_access(0x4000)
         second = hierarchy.core_access(0x4000)
         assert first.hit_level == "DRAM"
         assert second.hit_level == "L1-D"
         assert second.latency < first.latency
 
-    def test_l2_access_coherence_eviction(self):
-        hierarchy = CacheHierarchy()
+    def test_l2_access_coherence_eviction(self, hierarchy_class):
+        hierarchy = hierarchy_class()
         hierarchy.core_access(0x8000)  # line now in L1 and marked present
         assert hierarchy.l2.present_in_l1(0x8000)
         hierarchy.l2_access(0x8000, from_core=False)
         assert not hierarchy.l2.present_in_l1(0x8000)
 
-    def test_vector_block_access_warm_faster(self):
-        hierarchy = CacheHierarchy()
+    def test_l1_eviction_clears_presence_bit(self, hierarchy_class):
+        """Regression: when the L1 displaces a line, the L2's inclusive
+        presence bit must drop with it, or engine-side accesses keep paying
+        a phantom coherence penalty."""
+        hierarchy = hierarchy_class()
+        l1 = hierarchy.config.l1d
+        target = 0x8000
+        hierarchy.core_access(target)
+        assert hierarchy.l2.present_in_l1(target)
+        # Conflict the same L1 set until the target is evicted from L1.
+        way_span = l1.num_sets * l1.line_bytes
+        for i in range(1, l1.ways + 1):
+            hierarchy.core_access(target + i * way_span)
+        assert not hierarchy.l1d.probe(target)
+        assert not hierarchy.l2.present_in_l1(target)
+        # An engine access therefore pays no coherence penalty.
+        result = hierarchy.l2_access(target, from_core=False)
+        if result.hit_level == "L2":
+            assert result.latency == hierarchy.config.l2.hit_latency
+
+    def test_l2_eviction_back_invalidates_l1(self, hierarchy_class):
+        """Regression: displacing a line from the inclusive L2 must also
+        drop its L1 copy (and with it the presence bookkeeping), or the L1
+        keeps serving a line the L2 no longer tracks."""
+        hierarchy = hierarchy_class()
+        l2 = hierarchy.l2.config
+        target = 0x8000
+        hierarchy.core_access(target)  # in L1 and L2, presence set
+        # Stream enough conflicting lines through the engine to evict the
+        # target's L2 set entirely.
+        way_span = l2.num_sets * l2.line_bytes
+        conflicts = [target + i * way_span for i in range(1, l2.ways + 1)]
+        hierarchy.vector_block_access(conflicts)
+        assert not hierarchy.l2.probe(target)
+        assert not hierarchy.l1d.probe(target)
+        # A fresh engine access reinstalls it without any phantom penalty.
+        result = hierarchy.l2_access(target, from_core=False)
+        assert result.hit_level != "L2"
+
+    def test_vector_block_access_warm_faster(self, hierarchy_class):
+        hierarchy = hierarchy_class()
         lines = [0x10000 + i * 64 for i in range(128)]
         cold = hierarchy.vector_block_access(lines)
         warm = hierarchy.vector_block_access(lines)
         assert warm < cold
 
-    def test_vector_block_access_empty(self):
-        assert CacheHierarchy().vector_block_access([]) == 0
+    def test_vector_block_access_empty(self, hierarchy_class):
+        assert hierarchy_class().vector_block_access([]) == 0
+        assert hierarchy_class().vector_block_access(np.zeros(0, dtype=np.int64)) == 0
 
-    def test_vector_block_respects_dram_bandwidth(self):
-        hierarchy = CacheHierarchy()
+    def test_vector_block_access_returns_int(self, hierarchy_class):
+        """Regression: the scalar path used to return a float (the DRAM
+        bandwidth floor) despite the ``-> int`` annotation."""
+        hierarchy = hierarchy_class()
+        lines = [0x100000 + i * 64 for i in range(512)]
+        cycles = hierarchy.vector_block_access(lines)
+        assert isinstance(cycles, int)
+        warm = hierarchy.vector_block_access(lines)
+        assert isinstance(warm, int)
+
+    def test_vector_block_access_ndarray_and_list_agree(self, hierarchy_class):
+        addresses = [0x40000 + i * 64 for i in range(200)]
+        from_list = hierarchy_class().vector_block_access(addresses)
+        from_array = hierarchy_class().vector_block_access(np.asarray(addresses))
+        assert from_list == from_array
+
+    def test_vector_block_hit_and_miss_rounding_unified(self, hierarchy_class):
+        """Regression: miss windows used ``len(window) // 2`` where hits
+        used ``(hits - 1) // 2``; both now stream ``n - 1`` follow-on lines
+        at VECTOR_LINES_PER_CYCLE, rounded up."""
+        hierarchy = hierarchy_class()
+        lpc = hierarchy.VECTOR_LINES_PER_CYCLE
+        lines = [0x10000 + i * 64 for i in range(3)]
+        hierarchy.vector_block_access(lines)  # install in L2
+        warm = hierarchy.vector_block_access(lines)  # 3 hits
+        assert warm == hierarchy.config.l2.hit_latency + -(-(3 - 1) // lpc)
+
+    def test_vector_block_respects_dram_bandwidth(self, hierarchy_class):
+        hierarchy = hierarchy_class()
         lines = [0x100000 + i * 64 for i in range(512)]
         cycles = hierarchy.vector_block_access(lines)
         floor = hierarchy.dram.bandwidth_cycles(512 * 64)
         assert cycles >= floor
 
-    def test_reset_stats_keeps_contents(self):
-        hierarchy = CacheHierarchy()
+    def test_reset_stats_keeps_contents(self, hierarchy_class):
+        hierarchy = hierarchy_class()
         hierarchy.l2_access(0x9000)
         hierarchy.reset_stats()
         assert hierarchy.l2.stats.accesses == 0
         result = hierarchy.l2_access(0x9000)
         assert result.hit_level == "L2"
 
-    def test_flush_dirty_cycles(self):
-        hierarchy = CacheHierarchy()
+    def test_flush_dirty_cycles(self, hierarchy_class):
+        hierarchy = hierarchy_class()
         hierarchy.l2_access(0xA000, is_write=True)
         assert hierarchy.flush_dirty_cycles() > 0
+
+
+class TestDRAMBatch:
+    def test_batch_matches_sequential(self):
+        serial, batched = DRAMModel(), DRAMModel()
+        rng = np.random.default_rng(3)
+        addresses = (rng.integers(0, 1 << 20, size=300) // 64) * 64
+        expected = [serial.access(int(a)) for a in addresses]
+        actual = batched.access_batch(addresses)
+        assert actual.tolist() == expected
+        assert vars(batched.stats) == vars(serial.stats)
+        assert batched._open_rows == serial._open_rows
+
+    def test_batch_carries_open_rows_across_calls(self):
+        serial, batched = DRAMModel(), DRAMModel()
+        first = np.arange(0, 64 * 64, 64, dtype=np.int64)
+        second = first + 256  # same rows: previous batch left them open
+        for chunk in (first, second):
+            expected = [serial.access(int(a)) for a in chunk]
+            assert batched.access_batch(chunk).tolist() == expected
+        assert batched.stats.row_hits == serial.stats.row_hits > 0
+
+    def test_batch_write_and_size_accounting(self):
+        serial, batched = DRAMModel(), DRAMModel()
+        addresses = np.arange(0, 32 * 256, 256, dtype=np.int64)
+        expected = [serial.access(int(a), is_write=True, size_bytes=128) for a in addresses]
+        assert batched.access_batch(addresses, is_write=True, size_bytes=128).tolist() == expected
+        assert vars(batched.stats) == vars(serial.stats)
+
+    def test_empty_batch(self):
+        dram = DRAMModel()
+        assert dram.access_batch(np.zeros(0, dtype=np.int64)).size == 0
+        assert dram.stats.reads == 0
+
+
+class TestEngineSelection:
+    def test_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALAR_CACHE", raising=False)
+        assert isinstance(make_hierarchy(), VectorCacheHierarchy)
+
+    def test_env_switch_selects_scalar_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_CACHE", "1")
+        hierarchy = make_hierarchy()
+        assert type(hierarchy) is CacheHierarchy
+
+    def test_explicit_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_CACHE", "1")
+        assert isinstance(make_hierarchy(scalar=False), VectorCacheHierarchy)

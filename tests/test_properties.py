@@ -301,3 +301,100 @@ class TestMemoryProperties:
             machine, vector, len(values), scratch.address, stop_at=2
         )
         assert int(reduced.values[:remaining].sum()) == int(np.sum(values))
+
+
+class TestCacheEngineParity:
+    """The batched numpy cache engine is bit-for-bit identical to the scalar
+    reference: random access streams (single core/engine accesses plus
+    vector block accesses with conflict-heavy strided patterns) must produce
+    identical latencies, hit levels and statistics at every step."""
+
+    @staticmethod
+    def _small_hierarchy(cls):
+        from repro.memory import CacheConfig, HierarchyConfig
+
+        config = HierarchyConfig(
+            l1d=CacheConfig("L1-D", 2048, 2, hit_latency=4),
+            l2=CacheConfig("L2", 8192, 8, hit_latency=12, mshr_entries=5),
+            llc=CacheConfig("LLC", 16384, 4, hit_latency=31),
+        )
+        return cls(config, l2_compute_ways=4)
+
+    @staticmethod
+    def _observable(hierarchy):
+        levels = [
+            (c.stats.hits, c.stats.misses, c.stats.evictions, c.stats.writebacks)
+            for c in (hierarchy.l1d, hierarchy.l2, hierarchy.llc)
+        ]
+        dram = hierarchy.dram.stats
+        return levels + [
+            (dram.reads, dram.writes, dram.row_hits, dram.row_misses,
+             dram.bytes_transferred, dram.busy_cycles),
+            (hierarchy.l2.dirty_line_count(), hierarchy.l2.valid_line_count(),
+             hierarchy.llc.dirty_line_count(), hierarchy.flush_dirty_cycles()),
+        ]
+
+    op_strategy = st.one_of(
+        st.tuples(
+            st.sampled_from(["core", "l2_core", "l2_engine"]),
+            st.integers(min_value=0, max_value=(1 << 15) - 1),
+            st.booleans(),
+        ),
+        st.tuples(
+            st.just("block"),
+            st.lists(st.integers(min_value=0, max_value=511), min_size=0, max_size=40),
+            st.booleans(),
+        ),
+        st.tuples(
+            st.just("strided"),
+            st.tuples(
+                st.integers(min_value=0, max_value=255),  # base line
+                st.sampled_from([1, 2, 8, 16, 64, 128]),  # line stride
+                st.integers(min_value=1, max_value=48),  # count
+            ),
+            st.booleans(),
+        ),
+    )
+
+    @given(st.lists(op_strategy, min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_random_streams_identical(self, ops):
+        from repro.memory import CacheHierarchy, VectorCacheHierarchy
+
+        scalar = self._small_hierarchy(CacheHierarchy)
+        vector = self._small_hierarchy(VectorCacheHierarchy)
+        for kind, arg, is_write in ops:
+            if kind == "core":
+                a, b = scalar.core_access(arg, is_write), vector.core_access(arg, is_write)
+            elif kind in ("l2_core", "l2_engine"):
+                from_core = kind == "l2_core"
+                a = scalar.l2_access(arg, is_write, from_core=from_core)
+                b = vector.l2_access(arg, is_write, from_core=from_core)
+            else:
+                if kind == "block":
+                    addresses = [line * 64 for line in arg]
+                else:
+                    base, stride, count = arg
+                    addresses = [(base + i * stride) * 64 for i in range(count)]
+                a = scalar.vector_block_access(addresses, is_write)
+                b = vector.vector_block_access(np.asarray(addresses, dtype=np.int64), is_write)
+                assert a == b
+                assert isinstance(a, int) and isinstance(b, int)
+                continue
+            assert (a.latency, a.hit_level) == (b.latency, b.hit_level)
+        assert self._observable(scalar) == self._observable(vector)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=(1 << 16) - 1), min_size=1, max_size=200),
+        st.booleans(),
+    )
+    @settings(max_examples=40)
+    def test_dram_batch_matches_sequential(self, addresses, is_write):
+        from repro.memory import DRAMModel
+
+        serial, batched = DRAMModel(), DRAMModel()
+        aligned = [(a // 64) * 64 for a in addresses]
+        expected = [serial.access(a, is_write) for a in aligned]
+        actual = batched.access_batch(np.asarray(aligned, dtype=np.int64), is_write)
+        assert actual.tolist() == expected
+        assert vars(batched.stats) == vars(serial.stats)

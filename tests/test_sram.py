@@ -157,6 +157,17 @@ class TestTMU:
     def test_zero_elements_free(self):
         assert TransposeMemoryUnit().fill_cycles(0, 32) == 0
 
+    def test_partial_final_batch_routes_remaining_elements_only(self):
+        """Regression: the last partial batch used to be charged the
+        full-capacity crossbar routing cost instead of its own size."""
+        config = TMUConfig(capacity_elements=256, crossbar_elements_per_cycle=16)
+        tmu = TransposeMemoryUnit(config)
+        stream = 32 * config.row_transfer_cycles
+        full_route = 256 // 16
+        assert tmu.fill_cycles(256 + 16, 32) == (full_route + stream) + (1 + stream)
+        # A partial batch can never cost as much as a full one.
+        assert tmu.fill_cycles(257, 32) < 2 * tmu.fill_cycles(256, 32)
+
     def test_drain_symmetric(self):
         tmu = TransposeMemoryUnit()
         assert tmu.drain_cycles(512, 16) == tmu.fill_cycles(512, 16)
