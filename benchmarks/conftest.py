@@ -1,11 +1,13 @@
 """Shared fixtures for the benchmark harness.
 
 Each benchmark regenerates one table or figure of the paper's evaluation
-section and prints the corresponding rows/series.  A single
-ExperimentRunner is shared across the session, backed by the parallel sweep
-engine and the persistent on-disk result store: kernels simulated for one
-figure are reused by another, and a re-run of the suite answers from the
-cache as long as the simulator sources are unchanged.
+section through the experiment registry (``repro.experiments.registry``)
+and prints the corresponding rows/series.  A single ExperimentRunner is
+shared across the session, backed by the parallel sweep engine and the
+persistent on-disk result store: kernels simulated for one figure are
+reused by another, assembled experiment results are answered from the
+store, and a re-run of the suite is simulation-free as long as the
+simulator sources are unchanged.
 
 Environment knobs:
 
@@ -22,14 +24,22 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import pytest
 
 from repro.core.cache import ResultStore
-from repro.experiments import ExperimentRunner, ParallelSweepEngine, default_job_count
+from repro.experiments import ExperimentOptions, build_runner, run_experiment
 
 
 @pytest.fixture(scope="session")
 def runner():
     use_cache = os.environ.get("REPRO_NO_CACHE", "") != "1"
-    engine = ParallelSweepEngine(
-        jobs=default_job_count(),
-        store=ResultStore.default() if use_cache else None,
+    return build_runner(
+        store=ResultStore.default() if use_cache else None, default_scale=0.5
     )
-    return ExperimentRunner(default_scale=0.5, engine=engine)
+
+
+@pytest.fixture(scope="session")
+def run(runner):
+    """Run a registered experiment on the shared session runner."""
+
+    def _run(name, scale=0.5):
+        return run_experiment(name, runner=runner, options=ExperimentOptions(scale=scale))
+
+    return _run

@@ -4,11 +4,11 @@ Paper: 2.0x average speedup over RVV; RVV's extra partial accesses and
 packing moves show up as idle time on the in-cache engine.
 """
 
-from repro.experiments import format_table, run_figure10
+from repro.experiments import format_table
 
 
-def test_figure10_mve_vs_rvv(benchmark, runner):
-    result = benchmark.pedantic(run_figure10, kwargs={"runner": runner}, rounds=1, iterations=1)
+def test_figure10_mve_vs_rvv(benchmark, run):
+    result = benchmark.pedantic(run, args=("figure10",), rounds=1, iterations=1)
     rows = [
         [
             row.kernel,

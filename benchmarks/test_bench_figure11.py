@@ -4,14 +4,13 @@ Paper: MVE needs 2.3x fewer dynamic vector instructions and 2.0x fewer
 scalar instructions than RVV on the same engine.
 """
 
-from repro.experiments import format_table, run_figure10, run_figure11
+from repro.experiments import format_table
 
 
-def test_figure11_instruction_distribution(benchmark, runner):
-    figure10 = run_figure10(runner)
-    result = benchmark.pedantic(
-        run_figure11, kwargs={"runner": runner, "figure10": figure10}, rounds=1, iterations=1
-    )
+def test_figure11_instruction_distribution(benchmark, run):
+    # Shares the Figure 10 job set: on a shared engine the simulations are
+    # answered from the memo populated by the figure10 benchmark.
+    result = benchmark.pedantic(run, args=("figure11",), rounds=1, iterations=1)
     rows = []
     for mix in result.kernels:
         mve_total = sum(mix.mve_counts.values())

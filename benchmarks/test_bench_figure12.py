@@ -6,11 +6,11 @@ Paper: (a) MVE is ~1.5x faster than the Duality Cache SIMT model;
 (c) lower precision runs faster and widens the gap over Neon.
 """
 
-from repro.experiments import format_table, run_figure12a, run_figure12b, run_figure12c
+from repro.experiments import format_table
 
 
-def test_figure12a_duality_cache(benchmark, runner):
-    rows = benchmark.pedantic(run_figure12a, kwargs={"runner": runner}, rounds=1, iterations=1)
+def test_figure12a_duality_cache(benchmark, run):
+    rows = benchmark.pedantic(run, args=("figure12a",), rounds=1, iterations=1).rows
     print("\nFigure 12(a) - Duality Cache (SIMT) time normalized to MVE")
     print(
         format_table(
@@ -32,8 +32,8 @@ def test_figure12a_duality_cache(benchmark, runner):
     assert all(row.dc_over_mve_time > 1.0 for row in rows)
 
 
-def test_figure12b_array_scalability(benchmark, runner):
-    points = benchmark.pedantic(run_figure12b, kwargs={"runner": runner}, rounds=1, iterations=1)
+def test_figure12b_array_scalability(benchmark, run):
+    points = benchmark.pedantic(run, args=("figure12b",), rounds=1, iterations=1).points
     print("\nFigure 12(b) - execution time normalized to the 8-array engine")
     print(
         format_table(
@@ -47,8 +47,8 @@ def test_figure12b_array_scalability(benchmark, runner):
         assert series[-1].normalized_time < series[0].normalized_time
 
 
-def test_figure12c_precision_sensitivity(benchmark):
-    points = benchmark.pedantic(run_figure12c, rounds=1, iterations=1)
+def test_figure12c_precision_sensitivity(benchmark, run):
+    points = benchmark.pedantic(run, args=("figure12c",), rounds=1, iterations=1).points
     print("\nFigure 12(c) - sensitivity to element precision (MAC kernel)")
     print(
         format_table(

@@ -5,11 +5,11 @@ Paper: MVE improves bit-serial by 3.8x, bit-hybrid by 2.8x, bit-parallel by
 arithmetic latency dominates.
 """
 
-from repro.experiments import format_table, run_figure13
+from repro.experiments import format_table
 
 
-def test_figure13_schemes(benchmark, runner):
-    result = benchmark.pedantic(run_figure13, kwargs={"runner": runner}, rounds=1, iterations=1)
+def test_figure13_schemes(benchmark, run):
+    result = benchmark.pedantic(run, args=("figure13",), rounds=1, iterations=1)
     rows = [
         [
             row.scheme,

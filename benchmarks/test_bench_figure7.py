@@ -4,13 +4,11 @@ Paper: 2.9x average speedup, 8.8x average energy reduction; execution time
 split roughly 40% idle / 25% compute / 35% data access.
 """
 
-from repro.experiments import format_table, run_figure7
+from repro.experiments import format_table
 
 
-def test_figure7_mve_vs_neon(benchmark, runner):
-    result = benchmark.pedantic(
-        run_figure7, kwargs={"runner": runner, "scale": 0.5}, rounds=1, iterations=1
-    )
+def test_figure7_mve_vs_neon(benchmark, run):
+    result = benchmark.pedantic(run, args=("figure7",), rounds=1, iterations=1)
     rows = [
         [
             lib.library,

@@ -4,13 +4,11 @@ Paper: GPU is 9.3x slower (including data transfer) and uses 5.2x more
 energy; after discounting transfer the GPU is still 2.4x slower on average.
 """
 
-from repro.experiments import format_table, run_figure8
+from repro.experiments import format_table
 
 
-def test_figure8_gpu_vs_mve(benchmark, runner):
-    result = benchmark.pedantic(
-        run_figure8, kwargs={"runner": runner, "scale": 0.5}, rounds=1, iterations=1
-    )
+def test_figure8_gpu_vs_mve(benchmark, run):
+    result = benchmark.pedantic(run, args=("figure8",), rounds=1, iterations=1)
     rows = [
         [
             row.kernel,

@@ -4,11 +4,11 @@ Paper: MVE wins below roughly 6.0M (GEMM) / 4.6M (SpMM) MAC operations; the
 GPU's raw throughput wins above that once launch/copy overheads amortize.
 """
 
-from repro.experiments import format_table, run_figure9
+from repro.experiments import format_table
 
 
-def test_figure9_gemm_spmm_crossover(benchmark, runner):
-    result = benchmark.pedantic(run_figure9, kwargs={"runner": runner}, rounds=1, iterations=1)
+def test_figure9_gemm_spmm_crossover(benchmark, run):
+    result = benchmark.pedantic(run, args=("figure9",), rounds=1, iterations=1)
 
     def rows(points):
         return [

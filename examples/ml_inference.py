@@ -11,12 +11,11 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.experiments import ExperimentRunner, run_figure9, GEMM_SWEEP, SPMM_SWEEP
+from repro.experiments import run_experiment
 
 
 def main() -> None:
-    runner = ExperimentRunner()
-    result = run_figure9(runner, gemm_sweep=GEMM_SWEEP, spmm_sweep=SPMM_SWEEP)
+    result = run_experiment("figure9")
 
     print("GEMM sweep (fp32, dense):")
     for point in result.gemm_points:

@@ -1,0 +1,480 @@
+"""Unified experiment CLI: ``python -m repro {list,run,cache}``.
+
+Every table/figure of the paper is a registered experiment; ``run`` executes
+one end to end (sharded over worker processes, answered from the persistent
+result store when warm) and can export the serialized result:
+
+    python -m repro list
+    python -m repro run figure7 --export json --out figure7.json
+    python -m repro run tables --export csv
+
+Raw kernel sweeps -- the job tables previously served by
+``python -m repro.sweep`` -- remain available via ``--sweep`` (a named job
+set without result assembly) or ad-hoc axes::
+
+    python -m repro run --sweep figure7 --jobs 4
+    python -m repro run --kernels gemm,csum --schemes bit-serial,bit-parallel \
+        --kinds mve,rvv --scale 0.25 --jobs 8
+
+Per-job progress streams to stderr as results complete (``--no-progress``
+disables it).  ``cache`` shows or clears the persistent store (location:
+``$REPRO_SWEEP_CACHE_DIR`` or ``~/.cache/repro-sweep``); ``--no-cache``
+bypasses it for one run.  ``python -m repro.sweep`` is a deprecated alias
+of this CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+import time
+from typing import Optional, Sequence, TextIO
+
+from .core.cache import ResultStore
+from .experiments.registry import (
+    ExperimentOptions,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
+from .experiments.serialize import flatten, result_rows
+from .experiments.sweep import (
+    JobOutcome,
+    KernelJob,
+    OnResult,
+    ParallelSweepEngine,
+    SweepResult,
+    SweepSpec,
+    default_job_count,
+)
+from .experiments.tables import format_table, table3_libraries
+from .sram.schemes import SCHEME_NAMES, get_scheme
+from .workloads import kernel_names
+
+__all__ = [
+    "EXPORT_SCHEMA_VERSION",
+    "experiment_export_payload",
+    "main",
+    "named_sweep",
+    "named_sweep_names",
+    "run_sweep",
+    "schema_outline",
+    "sweep_export_payload",
+]
+
+#: bump when the structure of exported JSON/CSV payloads changes
+EXPORT_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------- #
+#  Named sweeps (raw job sets, shared with the deprecated repro.sweep CLI)
+# ---------------------------------------------------------------------- #
+
+
+def _own_sweep_spec(experiment, scale: float = 0.5) -> Optional[SweepSpec]:
+    """The experiment's job set as one raw sweep carrying its own name.
+
+    Experiments spanning several specs (figure12) or borrowing another
+    figure's runs (figure11 reuses figure10's spec) are not addressable as
+    raw sweeps -- a ``--sweep figure11`` export would otherwise be labelled
+    "figure10"."""
+    specs = experiment.sweep_specs(ExperimentOptions(scale=scale))
+    if len(specs) == 1 and specs[0].name == experiment.name:
+        return specs[0]
+    return None
+
+
+def named_sweep_names() -> list[str]:
+    """Experiments whose job set is expressible as one raw sweep."""
+    return [
+        experiment.name
+        for experiment in all_experiments()
+        if _own_sweep_spec(experiment) is not None
+    ]
+
+
+def named_sweep(name: str, scale: float = 0.5) -> SweepSpec:
+    """One of the predefined evaluation sweeps by name.
+
+    The spec comes straight from the owning experiment's registration, so
+    the raw-sweep job set can never drift from the experiment's.
+    """
+    try:
+        experiment = get_experiment(name)
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep {name!r}; available: {', '.join(named_sweep_names())}"
+        ) from None
+    spec = _own_sweep_spec(experiment, scale=scale)
+    if spec is None:
+        raise KeyError(
+            f"experiment {name!r} is not a single raw sweep; "
+            f"run it as an experiment or pick one of: {', '.join(named_sweep_names())}"
+        )
+    return spec
+
+
+def run_sweep(
+    spec: SweepSpec,
+    engine: Optional[ParallelSweepEngine] = None,
+    on_result: Optional[OnResult] = None,
+) -> SweepResult:
+    """Execute every job of ``spec`` on ``engine`` and time the batch."""
+    engine = engine or ParallelSweepEngine(jobs=default_job_count(), store=ResultStore.default())
+    start = time.perf_counter()
+    outcomes = engine.run_jobs(spec.jobs(), on_result=on_result)
+    return SweepResult(spec=spec, outcomes=outcomes, elapsed_s=time.perf_counter() - start)
+
+
+# ---------------------------------------------------------------------- #
+#  Exports
+# ---------------------------------------------------------------------- #
+
+
+def experiment_export_payload(
+    name: str, options: ExperimentOptions, result, elapsed_s: float = 0.0
+) -> dict:
+    """The JSON document ``run <experiment> --export json`` writes."""
+    return {
+        "schema": EXPORT_SCHEMA_VERSION,
+        "experiment": name,
+        "options": options.to_dict(),
+        "elapsed_s": elapsed_s,
+        "result": result.to_dict(),
+    }
+
+
+def sweep_export_payload(sweep: SweepResult) -> dict:
+    """The JSON document ``run --sweep/--kernels --export json`` writes."""
+    return {
+        "schema": EXPORT_SCHEMA_VERSION,
+        "sweep": sweep.spec.name,
+        "elapsed_s": sweep.elapsed_s,
+        "jobs": [
+            {
+                "kernel": job.kernel,
+                "kind": job.kind,
+                "scale": job.scale,
+                "kwargs": dict(job.kwargs),
+                "scheme": job.scheme_name,
+                "cache_key": job.cache_key(),
+                "source": outcome.source,
+                "spills": outcome.spills,
+                "result": outcome.result.to_dict(),
+            }
+            for job, outcome in sweep.outcomes.items()
+        ],
+    }
+
+
+def schema_outline(payload) -> object:
+    """The type-shape of a JSON payload, independent of its values.
+
+    Dicts keep their (sorted) keys, lists collapse to the outline of their
+    first element, and scalars become type names.  Two exports of the same
+    experiment at different dataset scales produce the same outline, which
+    is what the CI schema-drift gate compares against the checked-in golden.
+    """
+    if isinstance(payload, dict):
+        return {key: schema_outline(value) for key, value in sorted(payload.items())}
+    if isinstance(payload, list):
+        return [schema_outline(payload[0])] if payload else []
+    if isinstance(payload, bool):
+        return "bool"
+    if isinstance(payload, int):
+        return "int"
+    if isinstance(payload, float):
+        return "float"
+    if payload is None:
+        return "null"
+    return "str"
+
+
+def _columns(rows: list[dict]) -> list[str]:
+    """Union of row keys, preserving first-seen order."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def _rows_to_csv(rows: list[dict], out: TextIO) -> None:
+    writer = csv.DictWriter(out, fieldnames=_columns(rows), restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+
+
+def _export_rows(payload: dict) -> list[dict]:
+    if "jobs" in payload:  # sweep payload: one row per job
+        return [flatten(job) for job in payload["jobs"]]
+    return result_rows(payload["result"])
+
+
+def _write_export(payload: dict, fmt: str, out_path: Optional[str]) -> None:
+    if fmt == "json":
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    else:
+        buffer = io.StringIO()
+        _rows_to_csv(_export_rows(payload), buffer)
+        text = buffer.getvalue()
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {fmt} export to {out_path}")
+    else:
+        sys.stdout.write(text)
+
+
+# ---------------------------------------------------------------------- #
+#  Subcommands
+# ---------------------------------------------------------------------- #
+
+
+def _store_for(args: argparse.Namespace) -> ResultStore:
+    return ResultStore(args.cache_dir) if args.cache_dir else ResultStore.default()
+
+
+def _progress(stream: TextIO) -> OnResult:
+    def on_result(job: KernelJob, outcome: JobOutcome, completed: int, total: int) -> None:
+        print(f"[{completed}/{total}] {job.describe():<52} {outcome.source}", file=stream)
+
+    return on_result
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Experiments (python -m repro run NAME):")
+    for experiment in all_experiments():
+        jobs = len(experiment.jobs())
+        jobs_note = f"{jobs:>4} jobs" if jobs else "  static"
+        scale_note = (
+            "" if experiment.uses_scale or not jobs else " (fixed shapes; ignores --scale)"
+        )
+        print(f"  {experiment.name:<10} {jobs_note}  {experiment.description}{scale_note}")
+    print(
+        "\nNamed sweeps (raw job tables, `run --sweep NAME`): "
+        + ", ".join(named_sweep_names())
+    )
+    print("\nKernels by library (Table III):")
+    rows = [
+        [row["library"], row["domain"], row["dims"], ", ".join(row["kernels"])]
+        for row in table3_libraries()
+    ]
+    print(format_table(["library", "domain", "dims", "kernels"], rows))
+    store = _store_for(args)
+    print(f"\nCache: {store.root} ({len(store)} entries)")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _store_for(args)
+    if getattr(args, "action", "info") == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached results from {store.root}")
+    else:
+        print(f"Cache: {store.root} ({len(store)} entries)")
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    scale = 0.5 if args.scale is None else args.scale
+    if args.sweep:
+        try:
+            spec = named_sweep(args.sweep, scale=scale)
+        except KeyError as error:
+            raise SystemExit(f"run: {error.args[0]}") from None
+        if args.scale is not None and not get_experiment(args.sweep).uses_scale:
+            print(
+                f"note: sweep {args.sweep!r} uses the paper's fixed dataset shapes; "
+                f"--scale {args.scale} is ignored",
+                file=sys.stderr,
+            )
+        return spec
+    if not args.kernels:
+        raise SystemExit("run: pass an experiment name, --sweep NAME or --kernels a,b,c")
+    requested = [name.strip() for name in args.kernels.split(",") if name.strip()]
+    unknown = sorted(set(requested) - set(kernel_names()))
+    if unknown:
+        raise SystemExit(f"unknown kernels: {', '.join(unknown)}")
+    kinds = tuple(kind.strip() for kind in args.kinds.split(",") if kind.strip())
+    bad_kinds = sorted(set(kinds) - {"mve", "rvv"})
+    if bad_kinds:
+        raise SystemExit(f"unknown kinds: {', '.join(bad_kinds)} (choose from mve, rvv)")
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    for scheme in schemes:
+        try:
+            get_scheme(scheme)
+        except ValueError:
+            raise SystemExit(
+                f"unknown scheme {scheme!r} (choose from {', '.join(SCHEME_NAMES)})"
+            ) from None
+    return SweepSpec(
+        name="custom",
+        kernels=[(name, {"scale": scale}) for name in requested],
+        kinds=kinds,
+        schemes=schemes,
+        default_scale=scale,
+    )
+
+
+def _print_sweep(sweep: SweepResult, args: argparse.Namespace, store) -> None:
+    rows = sorted(sweep.outcomes.items(), key=lambda item: (item[0].kernel, item[0].kind))
+    header = (
+        f"{'kernel':<12} {'kind':<4} {'scheme':<13} {'cycles':>12} "
+        f"{'time_us':>10} {'energy_nj':>12} {'src':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for job, outcome in rows:
+        result = outcome.result
+        print(
+            f"{job.kernel:<12} {job.kind:<4} {job.scheme_name:<13} "
+            f"{result.total_cycles:>12.0f} {result.time_us:>10.2f} "
+            f"{result.energy_nj:>12.1f} {outcome.source:>8}"
+        )
+    cache_note = "cache disabled" if store is None else f"cache at {store.root}"
+    print(
+        f"\n{sweep.spec.name}: {len(sweep.outcomes)} jobs in {sweep.elapsed_s:.2f}s "
+        f"({sweep.computed} simulated, {sweep.from_cache} from cache, "
+        f"--jobs {args.jobs}, {cache_note})"
+    )
+
+
+def _print_experiment_result(name: str, result, elapsed_s: float) -> None:
+    data = result.to_dict()
+    sections: dict[str, list[dict]] = {}
+    for row in result_rows(data):
+        sections.setdefault(row.pop("section"), []).append(row)
+    for section, rows in sections.items():
+        if section == "summary":
+            print(f"\n{name} summary:")
+            (row,) = rows
+            for key, value in row.items():
+                print(f"  {key} = {value}")
+            continue
+        columns = _columns(rows)
+        print(f"\n{name}.{section}:")
+        print(format_table(columns, [[row.get(c, "") for c in columns] for row in rows]))
+    print(f"\n{name}: assembled in {elapsed_s:.2f}s")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    store = None if args.no_cache else _store_for(args)
+    on_result = None if args.no_progress else _progress(sys.stderr)
+
+    name = args.name
+    if name and (args.sweep or args.kernels):
+        raise SystemExit(
+            "run: pass either an experiment name or --sweep/--kernels, not both"
+        )
+    if name:
+        try:
+            get_experiment(name)
+        except KeyError as error:
+            raise SystemExit(f"run: {error.args[0]}") from None
+        from .experiments.registry import build_runner
+
+        options = ExperimentOptions(scale=0.5 if args.scale is None else args.scale)
+        if args.scale is not None and not get_experiment(name).uses_scale:
+            print(
+                f"note: experiment {name!r} uses the paper's fixed dataset shapes; "
+                f"--scale {args.scale} is ignored",
+                file=sys.stderr,
+            )
+        runner = build_runner(jobs=args.jobs, store=store, default_scale=options.scale)
+        start = time.perf_counter()
+        result = run_experiment(
+            name,
+            runner=runner,
+            options=options,
+            use_cache=not args.no_cache,
+            on_result=on_result,
+        )
+        elapsed_s = time.perf_counter() - start
+        payload = experiment_export_payload(
+            name, ExperimentOptions(scale=options.scale, config=runner.config), result,
+            elapsed_s=elapsed_s,
+        )
+        if args.export:
+            _write_export(payload, args.export, args.out)
+        else:
+            _print_experiment_result(name, result, elapsed_s)
+        return 0
+
+    spec = _spec_from_args(args)
+    engine = ParallelSweepEngine(jobs=args.jobs, store=store)
+    sweep = run_sweep(spec, engine, on_result=on_result)
+    if args.export:
+        _write_export(sweep_export_payload(sweep), args.export, args.out)
+    else:
+        _print_sweep(sweep, args, store)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+
+
+def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") -> int:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Run the paper's experiments and kernel sweeps, with "
+        "parallel execution, persistent caching and JSON/CSV export.",
+    )
+    parser.add_argument("--cache-dir", default=None, help="override the persistent cache directory")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    listp = sub.add_parser("list", help="show experiments, sweeps, kernels and cache status")
+    listp.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+    run = sub.add_parser("run", help="run an experiment or a raw kernel sweep")
+    run.add_argument(
+        "name", nargs="?", default=None,
+        help=f"experiment to run ({', '.join(experiment_names())})",
+    )
+    run.add_argument("--sweep", help=f"raw named sweep ({', '.join(named_sweep_names())})")
+    run.add_argument("--kernels", help="comma-separated kernel names for an ad-hoc sweep")
+    run.add_argument("--kinds", default="mve", help="comma-separated lowerings (mve,rvv)")
+    run.add_argument("--schemes", default="bit-serial", help="comma-separated compute schemes")
+    run.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale (default 0.5; ignored by fixed-shape experiments, see `list`)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=default_job_count(), help="worker processes (default: cores)"
+    )
+    run.add_argument("--no-cache", action="store_true", help="bypass the persistent cache")
+    run.add_argument(
+        "--export", choices=("json", "csv"), default=None,
+        help="export the result instead of printing the human-readable view",
+    )
+    run.add_argument("--out", default=None, help="write the export to this path (default: stdout)")
+    run.add_argument(
+        "--no-progress", action="store_true", help="do not stream per-job progress to stderr"
+    )
+    run.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+    cache = sub.add_parser("cache", help="show or clear the persistent result cache")
+    cache.add_argument("action", nargs="?", choices=("info", "clear"), default="info")
+    cache.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+    legacy_clear = sub.add_parser("clear-cache", help="(deprecated) alias for `cache clear`")
+    legacy_clear.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    if args.command == "clear-cache":
+        args.action = "clear"
+        return _cmd_cache(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

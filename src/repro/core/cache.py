@@ -10,7 +10,7 @@ into a cache key, and keeping one small JSON payload per key on disk.
 Entries are written atomically and loaded defensively: a truncated or
 corrupted file is treated as a miss and deleted, never trusted.  The store
 lives at ``$REPRO_SWEEP_CACHE_DIR`` (default ``~/.cache/repro-sweep``) and
-is safe to delete wholesale at any time; ``python -m repro.sweep clear-cache``
+is safe to delete wholesale at any time; ``python -m repro cache clear``
 does exactly that.
 """
 

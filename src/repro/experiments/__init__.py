@@ -1,6 +1,23 @@
-"""Experiment modules: one per table/figure of the paper's evaluation."""
+"""Experiment modules: one per table/figure of the paper's evaluation.
 
+Every module registers itself with the :mod:`~repro.experiments.registry`,
+which makes each table/figure an addressable, serializable experiment:
+``run_experiment("figure7")`` (or ``python -m repro run figure7``) replaces
+calling the module's ``run_*`` function by hand.
+"""
+
+from .registry import (
+    Experiment,
+    ExperimentOptions,
+    all_experiments,
+    build_runner,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
 from .runner import ExperimentRunner, KernelRun
+from .serialize import SerializableResult
 from .sweep import (
     JobOutcome,
     KernelJob,
@@ -11,7 +28,9 @@ from .sweep import (
     execute_job,
 )
 from .tables import (
+    TablesResult,
     format_table,
+    run_tables,
     table1_isa_comparison,
     table2_instruction_latencies,
     table3_libraries,
@@ -25,6 +44,9 @@ from .figure10 import Figure10Result, RvvComparison, run_figure10, FIGURE10_KERN
 from .figure11 import Figure11Result, InstructionMix, run_figure11
 from .figure12 import (
     Figure12Result,
+    Figure12aResult,
+    Figure12bResult,
+    Figure12cResult,
     run_figure12,
     run_figure12a,
     run_figure12b,
@@ -34,8 +56,17 @@ from .figure12 import (
 from .figure13 import Figure13Result, SchemeComparison, run_figure13, FIGURE13_KERNELS
 
 __all__ = [
+    "Experiment",
+    "ExperimentOptions",
+    "all_experiments",
+    "build_runner",
+    "experiment_names",
+    "get_experiment",
+    "register_experiment",
+    "run_experiment",
     "ExperimentRunner",
     "KernelRun",
+    "SerializableResult",
     "JobOutcome",
     "KernelJob",
     "ParallelSweepEngine",
@@ -43,7 +74,9 @@ __all__ = [
     "SweepSpec",
     "default_job_count",
     "execute_job",
+    "TablesResult",
     "format_table",
+    "run_tables",
     "table1_isa_comparison",
     "table2_instruction_latencies",
     "table3_libraries",
@@ -69,6 +102,9 @@ __all__ = [
     "InstructionMix",
     "run_figure11",
     "Figure12Result",
+    "Figure12aResult",
+    "Figure12bResult",
+    "Figure12cResult",
     "run_figure12",
     "run_figure12a",
     "run_figure12b",

@@ -12,8 +12,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.config import MachineConfig
+from ..core.config import MachineConfig, default_config
+from .registry import register_experiment
 from .runner import ExperimentRunner
+from .serialize import SerializableResult
 from .sweep import SweepSpec
 
 __all__ = [
@@ -59,7 +61,7 @@ def kernel_run_parameters(name: str) -> dict:
 
 
 @dataclass
-class RvvComparison:
+class RvvComparison(SerializableResult):
     kernel: str
     dims: str
     #: MVE / RVV execution time (lower is better for MVE)
@@ -79,7 +81,7 @@ class RvvComparison:
 
 
 @dataclass
-class Figure10Result:
+class Figure10Result(SerializableResult):
     kernels: list[RvvComparison]
     mean_speedup_over_rvv: float
     mean_vector_instruction_reduction: float
@@ -90,12 +92,14 @@ class Figure10Result:
 
 def figure10_sweep_spec(base_config: Optional[MachineConfig] = None) -> SweepSpec:
     """The exact MVE+RVV job set :func:`run_figure10` simulates (shared with the CLI)."""
-    spec = SweepSpec(name="figure10", kinds=("mve", "rvv"))
-    if base_config is not None:
-        spec.base_config = base_config
-    spec.schemes = (spec.base_config.scheme_name,)
-    spec.kernels = [(name, kernel_run_parameters(name)) for name, _ in FIGURE10_KERNELS]
-    return spec
+    config = base_config if base_config is not None else default_config()
+    return SweepSpec(
+        name="figure10",
+        kernels=[(name, kernel_run_parameters(name)) for name, _ in FIGURE10_KERNELS],
+        kinds=("mve", "rvv"),
+        schemes=(config.scheme_name,),
+        base_config=config,
+    )
 
 
 def run_figure10(runner: Optional[ExperimentRunner] = None) -> Figure10Result:
@@ -141,3 +145,12 @@ def run_figure10(runner: Optional[ExperimentRunner] = None) -> Figure10Result:
         mean_mve_cb_utilization=float(np.mean([row.mve_cb_utilization for row in rows])),
         mean_rvv_cb_utilization=float(np.mean([row.rvv_cb_utilization for row in rows])),
     )
+
+
+register_experiment(
+    name="figure10",
+    description="MVE vs RISC-V RVV execution-time breakdown per kernel",
+    result_type=Figure10Result,
+    assemble=lambda runner, options: run_figure10(runner),
+    specs=lambda options: (figure10_sweep_spec(base_config=options.config),),
+)

@@ -10,14 +10,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from .figure10 import Figure10Result, run_figure10
+from .figure10 import Figure10Result, figure10_sweep_spec, run_figure10
+from .registry import register_experiment
 from .runner import ExperimentRunner
+from .serialize import SerializableResult
 
 __all__ = ["InstructionMix", "Figure11Result", "run_figure11"]
 
 
 @dataclass
-class InstructionMix:
+class InstructionMix(SerializableResult):
     kernel: str
     dims: str
     #: per-category dynamic vector instruction counts
@@ -33,7 +35,7 @@ class InstructionMix:
 
 
 @dataclass
-class Figure11Result:
+class Figure11Result(SerializableResult):
     kernels: list[InstructionMix]
     mean_vector_reduction: float
     mean_scalar_reduction: float
@@ -63,3 +65,14 @@ def run_figure11(
         mean_vector_reduction=figure10.mean_vector_instruction_reduction,
         mean_scalar_reduction=figure10.mean_scalar_instruction_reduction,
     )
+
+
+register_experiment(
+    name="figure11",
+    description="dynamic vector/scalar instruction mix, MVE vs RVV",
+    result_type=Figure11Result,
+    assemble=lambda runner, options: run_figure11(runner),
+    # Same runs as Figure 10: the spec is shared, so the jobs come for free
+    # when both figures are produced on one engine.
+    specs=lambda options: (figure10_sweep_spec(base_config=options.config),),
+)

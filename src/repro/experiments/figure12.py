@@ -21,7 +21,9 @@ from ..core.simulator import simulate_kernel
 from ..intrinsics.machine import MVEMachine
 from ..isa.datatypes import DataType
 from ..memory.flatmem import FlatMemory
+from .registry import register_experiment
 from .runner import ExperimentRunner
+from .serialize import SerializableResult
 from .sweep import SweepSpec
 
 __all__ = [
@@ -29,6 +31,9 @@ __all__ = [
     "ScalabilityPoint",
     "PrecisionPoint",
     "Figure12Result",
+    "Figure12aResult",
+    "Figure12bResult",
+    "Figure12cResult",
     "run_figure12a",
     "run_figure12b",
     "run_figure12c",
@@ -56,7 +61,7 @@ _KERNEL_PARAMS = {
 
 
 @dataclass
-class DualityCacheComparison:
+class DualityCacheComparison(SerializableResult):
     kernel: str
     #: Duality Cache / MVE execution time (values > 1 mean MVE is faster)
     dc_over_mve_time: float
@@ -64,7 +69,7 @@ class DualityCacheComparison:
 
 
 @dataclass
-class ScalabilityPoint:
+class ScalabilityPoint(SerializableResult):
     kernel: str
     num_arrays: int
     #: execution time normalized to the 8-array configuration
@@ -73,7 +78,7 @@ class ScalabilityPoint:
 
 
 @dataclass
-class PrecisionPoint:
+class PrecisionPoint(SerializableResult):
     precision: str
     #: execution time normalized to fp32
     normalized_time: float
@@ -82,11 +87,32 @@ class PrecisionPoint:
 
 
 @dataclass
-class Figure12Result:
+class Figure12Result(SerializableResult):
     duality_cache: list[DualityCacheComparison]
     scalability: list[ScalabilityPoint]
     precision: list[PrecisionPoint]
     mean_dc_slowdown: float
+
+
+@dataclass
+class Figure12aResult(SerializableResult):
+    """The Duality Cache comparison rows, as a registry-addressable result."""
+
+    rows: list[DualityCacheComparison]
+
+
+@dataclass
+class Figure12bResult(SerializableResult):
+    """The SRAM-array scalability points, as a registry-addressable result."""
+
+    points: list[ScalabilityPoint]
+
+
+@dataclass
+class Figure12cResult(SerializableResult):
+    """The precision-sensitivity points, as a registry-addressable result."""
+
+    points: list[PrecisionPoint]
 
 
 def figure12a_sweep_spec(
@@ -94,12 +120,13 @@ def figure12a_sweep_spec(
     base_config: Optional[MachineConfig] = None,
 ) -> SweepSpec:
     """The exact MVE job set :func:`run_figure12a` simulates (shared with the CLI)."""
-    spec = SweepSpec(name="figure12a")
-    if base_config is not None:
-        spec.base_config = base_config
-    spec.schemes = (spec.base_config.scheme_name,)
-    spec.kernels = [(name, _KERNEL_PARAMS.get(name, {"scale": 0.5})) for name in kernels]
-    return spec
+    config = base_config if base_config is not None else default_config()
+    return SweepSpec(
+        name="figure12a",
+        kernels=[(name, _KERNEL_PARAMS.get(name, {"scale": 0.5})) for name in kernels],
+        schemes=(config.scheme_name,),
+        base_config=config,
+    )
 
 
 def figure12b_sweep_spec(
@@ -108,10 +135,14 @@ def figure12b_sweep_spec(
     base_config: Optional[MachineConfig] = None,
 ) -> SweepSpec:
     """The exact MVE job set :func:`run_figure12b` simulates (shared with the CLI)."""
-    spec = figure12a_sweep_spec(kernels, base_config)
-    spec.name = "figure12b"
-    spec.array_counts = tuple(array_counts)
-    return spec
+    config = base_config if base_config is not None else default_config()
+    return SweepSpec(
+        name="figure12b",
+        kernels=[(name, _KERNEL_PARAMS.get(name, {"scale": 0.5})) for name in kernels],
+        schemes=(config.scheme_name,),
+        array_counts=tuple(array_counts),
+        base_config=config,
+    )
 
 
 def run_figure12a(
@@ -265,3 +296,41 @@ def run_figure12(runner: Optional[ExperimentRunner] = None) -> Figure12Result:
             np.exp(np.mean(np.log([row.dc_over_mve_time for row in duality])))
         ),
     )
+
+
+register_experiment(
+    name="figure12a",
+    description="Duality Cache (SIMT) vs MVE (SIMD) on the same engine",
+    result_type=Figure12aResult,
+    assemble=lambda runner, options: Figure12aResult(rows=run_figure12a(runner)),
+    specs=lambda options: (figure12a_sweep_spec(base_config=options.config),),
+)
+
+register_experiment(
+    name="figure12b",
+    description="performance scalability from 8 to 64 SRAM arrays",
+    result_type=Figure12bResult,
+    assemble=lambda runner, options: Figure12bResult(points=run_figure12b(runner)),
+    specs=lambda options: (figure12b_sweep_spec(base_config=options.config),),
+)
+
+register_experiment(
+    name="figure12c",
+    description="sensitivity to element precision (fp32/int32/fp16/int16)",
+    result_type=Figure12cResult,
+    # Runs the simulator directly on a synthetic kernel: no engine job set.
+    assemble=lambda runner, options: Figure12cResult(
+        points=run_figure12c(config=runner.config)
+    ),
+)
+
+register_experiment(
+    name="figure12",
+    description="Duality Cache comparison + array scalability + precision",
+    result_type=Figure12Result,
+    assemble=lambda runner, options: run_figure12(runner),
+    specs=lambda options: (
+        figure12a_sweep_spec(base_config=options.config),
+        figure12b_sweep_spec(base_config=options.config),
+    ),
+)

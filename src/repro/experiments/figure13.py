@@ -7,10 +7,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.config import MachineConfig
+from ..core.config import MachineConfig, default_config
 from ..sram.schemes import SCHEME_NAMES
 from .figure10 import kernel_run_parameters
+from .registry import register_experiment
 from .runner import ExperimentRunner
+from .serialize import SerializableResult
 from .sweep import SweepSpec
 
 __all__ = [
@@ -26,7 +28,7 @@ FIGURE13_KERNELS = ("csum", "gemm", "intra", "dct")
 
 
 @dataclass
-class SchemeComparison:
+class SchemeComparison(SerializableResult):
     scheme: str
     #: geometric-mean MVE / RVV execution-time ratio (lower favours MVE)
     time_ratio: float
@@ -39,7 +41,7 @@ class SchemeComparison:
 
 
 @dataclass
-class Figure13Result:
+class Figure13Result(SerializableResult):
     schemes: list[SchemeComparison]
 
     def speedup_for(self, scheme: str) -> float:
@@ -55,11 +57,13 @@ def figure13_sweep_spec(
     base_config: Optional[MachineConfig] = None,
 ) -> SweepSpec:
     """The exact MVE+RVV job set :func:`run_figure13` simulates (shared with the CLI)."""
-    spec = SweepSpec(name="figure13", kinds=("mve", "rvv"), schemes=tuple(schemes))
-    if base_config is not None:
-        spec.base_config = base_config
-    spec.kernels = [(name, kernel_run_parameters(name)) for name in kernels]
-    return spec
+    return SweepSpec(
+        name="figure13",
+        kernels=[(name, kernel_run_parameters(name)) for name in kernels],
+        kinds=("mve", "rvv"),
+        schemes=tuple(schemes),
+        base_config=base_config if base_config is not None else default_config(),
+    )
 
 
 def run_figure13(
@@ -91,3 +95,12 @@ def run_figure13(
             )
         )
     return Figure13Result(schemes=rows)
+
+
+register_experiment(
+    name="figure13",
+    description="MVE vs RVV across in-SRAM compute schemes (BS/BH/BP/AC)",
+    result_type=Figure13Result,
+    assemble=lambda runner, options: run_figure13(runner),
+    specs=lambda options: (figure13_sweep_spec(base_config=options.config),),
+)

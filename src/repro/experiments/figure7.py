@@ -7,9 +7,11 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.config import MachineConfig
+from ..core.config import MachineConfig, default_config
 from ..workloads import kernels_in_library, library_names
+from .registry import register_experiment
 from .runner import ExperimentRunner
+from .serialize import SerializableResult
 from .sweep import SweepSpec
 
 __all__ = ["LibraryComparison", "Figure7Result", "run_figure7", "figure7_sweep_spec"]
@@ -22,23 +24,25 @@ def figure7_sweep_spec(
 ) -> SweepSpec:
     """The exact job set :func:`run_figure7` simulates, as a sweep spec.
 
-    Single source of truth shared by the figure's prefetch and the
-    ``python -m repro.sweep`` CLI, so the two can never drift apart.
+    Single source of truth shared by the figure's prefetch, the experiment
+    registry and the ``python -m repro`` CLI, so they can never drift apart.
     """
-    spec = SweepSpec(name="figure7", default_scale=scale)
-    if base_config is not None:
-        spec.base_config = base_config
-    spec.schemes = (spec.base_config.scheme_name,)
-    spec.kernels = [
-        (name, {"scale": scale})
-        for library in (libraries or library_names())
-        for name in kernels_in_library(library)
-    ]
-    return spec
+    config = base_config if base_config is not None else default_config()
+    return SweepSpec(
+        name="figure7",
+        kernels=[
+            (name, {"scale": scale})
+            for library in (libraries or library_names())
+            for name in kernels_in_library(library)
+        ],
+        schemes=(config.scheme_name,),
+        default_scale=scale,
+        base_config=config,
+    )
 
 
 @dataclass
-class LibraryComparison:
+class LibraryComparison(SerializableResult):
     """Per-library aggregate of the MVE vs Neon comparison."""
 
     library: str
@@ -62,7 +66,7 @@ class LibraryComparison:
 
 
 @dataclass
-class Figure7Result:
+class Figure7Result(SerializableResult):
     libraries: list[LibraryComparison]
     mean_speedup: float
     mean_energy_ratio: float
@@ -123,3 +127,13 @@ def run_figure7(
         mean_compute_fraction=float(np.mean([lib.compute_fraction for lib in per_library])),
         mean_data_fraction=float(np.mean([lib.data_fraction for lib in per_library])),
     )
+
+
+register_experiment(
+    name="figure7",
+    description="MVE vs Arm Neon execution time and energy, per library",
+    result_type=Figure7Result,
+    assemble=lambda runner, options: run_figure7(runner, scale=options.scale),
+    specs=lambda options: (figure7_sweep_spec(options.scale, base_config=options.config),),
+    uses_scale=True,
+)

@@ -7,8 +7,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.config import MachineConfig
+from ..core.config import MachineConfig, default_config
+from .registry import register_experiment
 from .runner import ExperimentRunner
+from .serialize import SerializableResult
 from .sweep import SweepSpec
 
 __all__ = [
@@ -42,18 +44,20 @@ def figure8_sweep_spec(
     scale: float = 0.5, base_config: Optional[MachineConfig] = None
 ) -> SweepSpec:
     """The exact MVE job set :func:`run_figure8` simulates (shared with the CLI)."""
-    spec = SweepSpec(name="figure8", default_scale=scale)
-    if base_config is not None:
-        spec.base_config = base_config
-    spec.schemes = (spec.base_config.scheme_name,)
-    spec.kernels = [
-        (name, {"scale": _KERNEL_SCALES.get(name, scale)}) for name in FIGURE8_KERNELS
-    ]
-    return spec
+    config = base_config if base_config is not None else default_config()
+    return SweepSpec(
+        name="figure8",
+        kernels=[
+            (name, {"scale": _KERNEL_SCALES.get(name, scale)}) for name in FIGURE8_KERNELS
+        ],
+        schemes=(config.scheme_name,),
+        default_scale=scale,
+        base_config=config,
+    )
 
 
 @dataclass
-class GpuComparison:
+class GpuComparison(SerializableResult):
     kernel: str
     #: GPU / MVE execution-time ratio including host-to-device data transfer
     time_ratio_with_transfer: float
@@ -64,7 +68,7 @@ class GpuComparison:
 
 
 @dataclass
-class Figure8Result:
+class Figure8Result(SerializableResult):
     kernels: list[GpuComparison]
     mean_time_ratio: float
     mean_kernel_only_ratio: float
@@ -99,3 +103,13 @@ def run_figure8(
         ),
         mean_energy_ratio=float(np.exp(np.mean(np.log([r.energy_ratio for r in rows])))),
     )
+
+
+register_experiment(
+    name="figure8",
+    description="Adreno-class GPU time and energy normalized to MVE",
+    result_type=Figure8Result,
+    assemble=lambda runner, options: run_figure8(runner, scale=options.scale),
+    specs=lambda options: (figure8_sweep_spec(options.scale, base_config=options.config),),
+    uses_scale=True,
+)

@@ -10,8 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..core.config import MachineConfig
+from ..core.config import MachineConfig, default_config
+from .registry import register_experiment
 from .runner import ExperimentRunner
+from .serialize import SerializableResult
 from .sweep import SweepSpec
 
 __all__ = [
@@ -46,7 +48,7 @@ SPMM_SWEEP: tuple[tuple[int, int, int, int], ...] = (
 
 
 @dataclass
-class SweepPoint:
+class SweepPoint(SerializableResult):
     kernel: str
     shape: tuple
     flops: float
@@ -59,7 +61,7 @@ class SweepPoint:
 
 
 @dataclass
-class Figure9Result:
+class Figure9Result(SerializableResult):
     gemm_points: list[SweepPoint]
     spmm_points: list[SweepPoint]
 
@@ -86,17 +88,19 @@ def figure9_sweep_spec(
     base_config: Optional[MachineConfig] = None,
 ) -> SweepSpec:
     """The exact MVE job set :func:`run_figure9` simulates (shared with the CLI)."""
-    spec = SweepSpec(name="figure9")
-    if base_config is not None:
-        spec.base_config = base_config
-    spec.schemes = (spec.base_config.scheme_name,)
-    spec.kernels = [
-        ("gemm", {"scale": 1.0, "n": n, "k": k, "m": m}) for n, k, m in gemm_sweep
-    ] + [
-        ("spmm", {"scale": 1.0, "n": n, "k": k, "m": m, "nnz": nnz})
-        for n, k, m, nnz in spmm_sweep
-    ]
-    return spec
+    config = base_config if base_config is not None else default_config()
+    return SweepSpec(
+        name="figure9",
+        kernels=[
+            ("gemm", {"scale": 1.0, "n": n, "k": k, "m": m}) for n, k, m in gemm_sweep
+        ]
+        + [
+            ("spmm", {"scale": 1.0, "n": n, "k": k, "m": m, "nnz": nnz})
+            for n, k, m, nnz in spmm_sweep
+        ],
+        schemes=(config.scheme_name,),
+        base_config=config,
+    )
 
 
 def run_figure9(
@@ -135,3 +139,12 @@ def run_figure9(
             )
         )
     return Figure9Result(gemm_points=gemm_points, spmm_points=spmm_points)
+
+
+register_experiment(
+    name="figure9",
+    description="GEMM/SpMM time vs problem size, MVE against the GPU",
+    result_type=Figure9Result,
+    assemble=lambda runner, options: run_figure9(runner),
+    specs=lambda options: (figure9_sweep_spec(base_config=options.config),),
+)

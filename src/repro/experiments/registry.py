@@ -1,0 +1,240 @@
+"""Declarative experiment registry: every table/figure as an addressable unit.
+
+The paper's evaluation used to be eight bespoke ``run_*`` entry points with
+incompatible signatures.  This module turns each of them into a first-class
+:class:`Experiment` that declares
+
+* its **job set** -- ``specs(options)`` returns the same
+  :class:`~repro.experiments.sweep.SweepSpec` single-sources-of-truth the
+  figure modules and the CLI already share, so registry-built jobs hash to
+  exactly the same cache keys as the legacy ``run_figureN`` paths, and
+* its **assembly** -- ``assemble(runner, options)`` turns the simulated jobs
+  into the figure's serializable result dataclass.
+
+Experiment modules register themselves at import time via
+:func:`register_experiment`; :func:`run_experiment` is the one call sites
+need: it prefetches the job set through the
+:class:`~repro.experiments.sweep.ParallelSweepEngine` (streaming per-job
+progress to an optional ``on_result`` callback), answers whole assembled
+results from the persistent :class:`~repro.core.cache.ResultStore` when the
+options and source fingerprint match, and caches fresh results there.
+``python -m repro`` exposes the registry as a CLI.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+from ..core.cache import (
+    ResultStore,
+    code_fingerprint,
+    config_digest,
+    load_cached_result,
+    stable_hash,
+    store_cached_result,
+)
+from ..core.config import MachineConfig, default_config
+from .runner import ExperimentRunner
+from .sweep import KernelJob, OnResult, ParallelSweepEngine, SweepSpec, default_job_count
+
+__all__ = [
+    "Experiment",
+    "ExperimentOptions",
+    "all_experiments",
+    "build_runner",
+    "experiment_names",
+    "get_experiment",
+    "register_experiment",
+    "run_experiment",
+]
+
+#: modules that register experiments on import (one per table/figure)
+_EXPERIMENT_MODULES = (
+    "repro.experiments.tables",
+    "repro.experiments.figure7",
+    "repro.experiments.figure8",
+    "repro.experiments.figure9",
+    "repro.experiments.figure10",
+    "repro.experiments.figure11",
+    "repro.experiments.figure12",
+    "repro.experiments.figure13",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """Caller-tunable knobs shared by every experiment.
+
+    ``scale`` is honoured only by experiments with ``uses_scale=True`` (the
+    fixed-shape sweeps pin the paper's dataset sizes); ``config=None`` means
+    the runner's machine configuration.
+    """
+
+    scale: float = 0.5
+    config: Optional[MachineConfig] = None
+
+    def resolved_config(self) -> MachineConfig:
+        return self.config if self.config is not None else default_config()
+
+    def to_dict(self) -> dict:
+        """The options as the JSON dict used in cache keys and exports."""
+        return {"scale": self.scale, "config": config_digest(self.resolved_config())}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One table/figure of the evaluation, runnable over the sweep engine."""
+
+    name: str
+    description: str
+    #: result dataclass with ``to_dict``/``from_dict`` (ResultStore payload)
+    result_type: type
+    #: turns prefetched jobs into the result; must only request jobs that
+    #: ``specs`` declares, so the two can never drift apart
+    assemble: Callable[[ExperimentRunner, ExperimentOptions], Any] = field(repr=False)
+    #: the declarative job set; empty for analytic/static experiments
+    specs: Callable[[ExperimentOptions], tuple[SweepSpec, ...]] = field(
+        default=lambda options: (), repr=False
+    )
+    #: whether ``options.scale`` changes the job set
+    uses_scale: bool = False
+
+    def sweep_specs(self, options: Optional[ExperimentOptions] = None) -> tuple[SweepSpec, ...]:
+        return tuple(self.specs(options or ExperimentOptions()))
+
+    def jobs(self, options: Optional[ExperimentOptions] = None) -> list[KernelJob]:
+        """The engine job set, deduplicated across this experiment's specs."""
+        expanded: list[KernelJob] = []
+        for spec in self.sweep_specs(options):
+            expanded.extend(spec.jobs())
+        return list(dict.fromkeys(expanded))
+
+    def cache_key(self, options: ExperimentOptions) -> str:
+        """Identity of the assembled result in the persistent store."""
+        encoded = options.to_dict()
+        if not self.uses_scale:
+            # Fixed-shape experiments ignore --scale; keying on it would
+            # store duplicate results under distinct keys.
+            del encoded["scale"]
+        return stable_hash(
+            {
+                "experiment": self.name,
+                "fingerprint": code_fingerprint(),
+                "options": encoded,
+            }
+        )
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register_experiment(
+    name: str,
+    description: str,
+    result_type: type,
+    assemble: Callable[[ExperimentRunner, ExperimentOptions], Any],
+    specs: Optional[Callable[[ExperimentOptions], tuple[SweepSpec, ...]]] = None,
+    uses_scale: bool = False,
+) -> Experiment:
+    """Register (or replace) one experiment; returns the registered record."""
+    experiment = Experiment(
+        name=name,
+        description=description,
+        result_type=result_type,
+        assemble=assemble,
+        specs=specs if specs is not None else (lambda options: ()),
+        uses_scale=uses_scale,
+    )
+    _REGISTRY[name] = experiment
+    return experiment
+
+
+def _ensure_registered() -> None:
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(module)
+
+
+def _natural_key(name: str) -> tuple:
+    return tuple(int(part) if part.isdigit() else part for part in re.split(r"(\d+)", name))
+
+
+def experiment_names() -> list[str]:
+    """Registered experiment names in natural order (figure7 < figure10)."""
+    _ensure_registered()
+    return sorted(_REGISTRY, key=_natural_key)
+
+
+def all_experiments() -> list[Experiment]:
+    return [_REGISTRY[name] for name in experiment_names()]
+
+
+def get_experiment(name: str) -> Experiment:
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(experiment_names())}"
+        ) from None
+
+
+def build_runner(
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    config: Optional[MachineConfig] = None,
+    default_scale: float = 0.5,
+) -> ExperimentRunner:
+    """An :class:`ExperimentRunner` over a parallel engine -- the standard
+    stack the CLI, the benchmark session and the example scripts share."""
+    engine = ParallelSweepEngine(
+        jobs=default_job_count() if jobs is None else jobs, store=store
+    )
+    return ExperimentRunner(config=config, default_scale=default_scale, engine=engine)
+
+
+def run_experiment(
+    name: str,
+    runner: Optional[ExperimentRunner] = None,
+    options: Optional[ExperimentOptions] = None,
+    use_cache: bool = True,
+    on_result: Optional[OnResult] = None,
+):
+    """Run one registered experiment end to end and return its result.
+
+    The job set is prefetched as a single engine batch (sharded over worker
+    processes when the runner's engine has ``jobs > 1``), with ``on_result``
+    streaming per-job progress.  With ``use_cache`` and a store attached,
+    the assembled result itself is answered from / persisted to the store,
+    keyed by experiment name, options and the source fingerprint.
+    """
+    experiment = get_experiment(name)
+    options = options or ExperimentOptions()
+    if runner is None:
+        runner = build_runner(
+            store=ResultStore.default() if use_cache else None, config=options.config
+        )
+    if options.config is None:
+        options = replace(options, config=runner.config)
+    elif config_digest(options.config) != config_digest(runner.config):
+        # The spec/assemble contract keys every job on the runner's config;
+        # honour an explicit override by rebinding the runner (sharing its
+        # engine, so memo and store stay warm).
+        runner = ExperimentRunner(
+            config=options.config,
+            default_scale=runner.default_scale,
+            engine=runner.engine,
+        )
+    store = runner.engine.store if use_cache else None
+    key = experiment.cache_key(options)
+    cached = load_cached_result(store, key, experiment.result_type)
+    if cached is not None:
+        return cached
+    jobs = experiment.jobs(options)
+    if jobs:
+        runner.engine.run_jobs(jobs, on_result=on_result)
+    result = experiment.assemble(runner, options)
+    store_cached_result(store, key, result)
+    return result

@@ -72,6 +72,9 @@ class ExperimentRunner:
         self.engine = engine or ParallelSweepEngine(jobs=jobs, store=store)
         self._kernel_cache: dict = {}
         self._traced: set = set()
+        #: baseline results by cache key, mirroring the engine's job memo so
+        #: repeated run_neon/run_gpu calls never re-read the persistent store
+        self._baseline_memo: dict = {}
 
     # ------------------------------------------------------------------ #
 
@@ -166,7 +169,9 @@ class ExperimentRunner:
 
     # -- baseline models (persistent-cached like the simulator jobs) ------ #
 
-    def _baseline_key(self, baseline: str, name: str, scale: float, extra: dict) -> str:
+    def _baseline_key(
+        self, baseline: str, name: str, scale: float, extra: dict, config: MachineConfig
+    ) -> str:
         """Cache key mirroring :meth:`KernelJob.cache_key`: full config,
         kernel identity and the source-tree fingerprint."""
         return stable_hash(
@@ -176,45 +181,63 @@ class ExperimentRunner:
                 "kernel": name,
                 "scale": scale,
                 "extra": sorted(extra.items()),
-                "config": config_digest(self.config),
+                "config": config_digest(config),
             }
         )
 
-    def _baseline_cached(self, key: str, result_type):
-        return load_cached_result(self.engine.store, key, result_type)
-
-    def _baseline_store(self, key: str, result) -> None:
-        store_cached_result(self.engine.store, key, result)
-
-    def run_neon(self, name: str, scale: Optional[float] = None, **kernel_kwargs) -> NeonResult:
-        """The Neon baseline for a kernel, answered from the persistent
-        store when possible (its cache traffic runs on the same engine as
-        the MVE simulations, so recomputation is no longer trivial)."""
-        scale = scale if scale is not None else self.default_scale
-        key = self._baseline_key("neon", name, scale, dict(kernel_kwargs))
-        cached = self._baseline_cached(key, NeonResult)
-        if cached is not None:
-            return cached
-        kernel = self._get_kernel(name, scale, **kernel_kwargs)
-        result = NeonModel(self.config).run(kernel.profile())
-        self._baseline_store(key, result)
+    def _baseline_run(self, key: str, result_type, compute):
+        """Memo -> persistent store -> ``compute()``, mirroring the engine's
+        lookup order for simulation jobs."""
+        memo = self._baseline_memo.get(key)
+        if memo is not None:
+            return memo
+        result = load_cached_result(self.engine.store, key, result_type)
+        if result is None:
+            result = compute()
+            store_cached_result(self.engine.store, key, result)
+        self._baseline_memo[key] = result
         return result
+
+    def run_neon(
+        self,
+        name: str,
+        scale: Optional[float] = None,
+        config: Optional[MachineConfig] = None,
+        **kernel_kwargs,
+    ) -> NeonResult:
+        """The Neon baseline for a kernel, answered from the in-process memo
+        or the persistent store when possible (its cache traffic runs on the
+        same engine as the MVE simulations, so recomputation is no longer
+        trivial)."""
+        scale = scale if scale is not None else self.default_scale
+        config = config or self.config
+        key = self._baseline_key("neon", name, scale, dict(kernel_kwargs), config)
+        return self._baseline_run(
+            key,
+            NeonResult,
+            lambda: NeonModel(config).run(
+                self._get_kernel(name, scale, **kernel_kwargs).profile()
+            ),
+        )
 
     def run_gpu(
         self,
         name: str,
         scale: Optional[float] = None,
+        config: Optional[MachineConfig] = None,
         include_transfer: bool = True,
         **kernel_kwargs,
     ) -> GPUResult:
         scale = scale if scale is not None else self.default_scale
+        config = config or self.config
         key = self._baseline_key(
-            "gpu", name, scale, {"include_transfer": include_transfer, **kernel_kwargs}
+            "gpu", name, scale, {"include_transfer": include_transfer, **kernel_kwargs}, config
         )
-        cached = self._baseline_cached(key, GPUResult)
-        if cached is not None:
-            return cached
-        kernel = self._get_kernel(name, scale, **kernel_kwargs)
-        result = GPUModel().run(kernel.profile(), include_transfer=include_transfer)
-        self._baseline_store(key, result)
-        return result
+        return self._baseline_run(
+            key,
+            GPUResult,
+            lambda: GPUModel().run(
+                self._get_kernel(name, scale, **kernel_kwargs).profile(),
+                include_transfer=include_transfer,
+            ),
+        )

@@ -12,19 +12,23 @@ each point an independent, deterministic simulation job.  The engine
   is pure Python + numpy, so process-level parallelism is the only way to
   use more than one core.
 
-``python -m repro.sweep`` exposes the same engine as a batch CLI; the
+``python -m repro`` exposes the same engine as a batch CLI (with
+``python -m repro.sweep`` kept as a deprecated alias); the
 :class:`~repro.experiments.runner.ExperimentRunner` sits on top of it so the
-figure modules, the benchmark suite and the example scripts all share one
-cache.
+figure modules, the experiment registry, the benchmark suite and the example
+scripts all share one cache.  :meth:`ParallelSweepEngine.run_jobs` streams
+results through an optional ``on_result`` callback as jobs complete, so
+callers can report progress and rely on partial batches being persisted.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..core.cache import ResultStore, code_fingerprint, config_digest, stable_hash
 from ..core.config import MachineConfig, default_config
@@ -36,6 +40,7 @@ from ..workloads import get_kernel_class
 __all__ = [
     "KernelJob",
     "JobOutcome",
+    "OnResult",
     "SweepSpec",
     "SweepResult",
     "ParallelSweepEngine",
@@ -43,12 +48,23 @@ __all__ = [
     "default_job_count",
 ]
 
+#: progress callback: ``on_result(job, outcome, completed, total)``
+OnResult = Callable[["KernelJob", "JobOutcome", int, int], None]
+
 
 def default_job_count() -> int:
     """Worker processes to use when the caller does not say: all cores."""
     env = os.environ.get("REPRO_SWEEP_JOBS")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring REPRO_SWEEP_JOBS={env!r}: not an integer; "
+                "falling back to the core count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return max(1, os.cpu_count() or 1)
 
 
@@ -157,8 +173,17 @@ class ParallelSweepEngine:
             {"result": outcome.result.to_dict(), "spills": outcome.spills},
         )
 
-    def _execute_batch(self, pending: list[KernelJob]) -> list[JobOutcome]:
+    def _execute_streaming(
+        self,
+        pending: list[KernelJob],
+        emit: Callable[[KernelJob, JobOutcome], None],
+    ) -> None:
+        """Execute ``pending``, calling ``emit(job, outcome)`` for each job as
+        soon as its result is available (completion order when a worker pool
+        is used, submission order on the serial path)."""
+        remaining = set(pending)
         if self.jobs > 1 and len(pending) > 1:
+            pool = None
             try:
                 import multiprocessing
 
@@ -166,38 +191,84 @@ class ParallelSweepEngine:
                 if "fork" in multiprocessing.get_all_start_methods():
                     context = multiprocessing.get_context("fork")
                 workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-                    return list(pool.map(execute_job, pending))
-            except (OSError, BrokenProcessPool):
-                # Restricted environments (fork blocked, or workers killed on
-                # startup by seccomp/cgroups): degrade to the serial path
-                # rather than failing the sweep.
-                pass
-        return [execute_job(job) for job in pending]
+                pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            except OSError:
+                # Restricted environments (fork blocked by seccomp/cgroups):
+                # degrade to the serial path rather than failing the sweep.
+                pool = None
+            if pool is not None:
+                with pool:
+                    try:
+                        futures = {pool.submit(execute_job, job): job for job in pending}
+                    except (OSError, BrokenProcessPool):
+                        futures = {}
+                    for future in as_completed(futures):
+                        job = futures[future]
+                        try:
+                            outcome = future.result()
+                        except (OSError, BrokenProcessPool):
+                            # Workers killed mid-batch: leave this job for the
+                            # serial pass below.
+                            continue
+                        # emit runs outside the except scopes above so a
+                        # callback/persistence error propagates instead of
+                        # being mistaken for a broken pool (which would
+                        # silently re-simulate already-finished jobs).
+                        emit(job, outcome)
+                        remaining.discard(job)
+        for job in pending:
+            if job in remaining:
+                emit(job, execute_job(job))
 
-    def run_jobs(self, jobs: Sequence[KernelJob]) -> dict[KernelJob, JobOutcome]:
-        """Execute (or recall) every distinct job; returns job -> outcome."""
+    def run_jobs(
+        self,
+        jobs: Sequence[KernelJob],
+        on_result: Optional[OnResult] = None,
+    ) -> dict[KernelJob, JobOutcome]:
+        """Execute (or recall) every distinct job; returns job -> outcome.
+
+        When ``on_result`` is given it is called as
+        ``on_result(job, outcome, completed, total)`` for every distinct job
+        -- cached answers immediately, computed ones as they finish (which is
+        out of submission order on the parallel path).  Computed results are
+        persisted to the store *before* their callback fires, so partial
+        sweep progress survives an interrupted batch.
+        """
         distinct = list(dict.fromkeys(jobs))
+        total = len(distinct)
         outcomes: dict[KernelJob, JobOutcome] = {}
+        completed = 0
+
+        def emit(job: KernelJob, outcome: JobOutcome) -> None:
+            nonlocal completed
+            outcomes[job] = outcome
+            completed += 1
+            if on_result is not None:
+                on_result(job, outcome, completed, total)
+
         pending: list[KernelJob] = []
         for job in distinct:
             memo = self._memo.get(job)
             if memo is not None:
-                outcomes[job] = JobOutcome(memo.result, memo.spills, source="memo")
+                emit(job, JobOutcome(memo.result, memo.spills, source="memo"))
                 continue
             stored = self._from_store(job)
             if stored is not None:
                 self._memo[job] = stored
-                outcomes[job] = stored
+                emit(job, stored)
                 continue
             pending.append(job)
+
+        def record(job: KernelJob, outcome: JobOutcome) -> None:
+            self.computed += 1
+            self._memo[job] = outcome
+            self._to_store(job, outcome)
+            emit(job, outcome)
+
         if pending:
-            for job, outcome in zip(pending, self._execute_batch(pending)):
-                self.computed += 1
-                self._memo[job] = outcome
-                self._to_store(job, outcome)
-                outcomes[job] = outcome
-        return outcomes
+            self._execute_streaming(pending, record)
+        # Return in the caller's job order regardless of completion order.
+        return {job: outcomes[job] for job in distinct}
 
     def run_one(self, job: KernelJob) -> JobOutcome:
         return self.run_jobs([job])[job]

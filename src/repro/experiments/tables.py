@@ -9,8 +9,12 @@ from ..isa.datatypes import DataType
 from ..isa.instructions import Opcode
 from ..sram.schemes import BitSerialScheme
 from ..workloads import kernels_in_library, library_info, library_names
+from .registry import register_experiment
+from .serialize import SerializableResult
 
 __all__ = [
+    "TablesResult",
+    "run_tables",
     "table1_isa_comparison",
     "table2_instruction_latencies",
     "table3_libraries",
@@ -65,7 +69,7 @@ def table1_isa_comparison() -> dict[str, dict[str, str]]:
 
 
 @dataclass
-class InstructionLatency:
+class InstructionLatency(SerializableResult):
     opcode: str
     category: str
     latency_32bit: int
@@ -136,3 +140,33 @@ def table5_summary() -> dict[str, float]:
         "neon_overhead_percent": 100.0 * NEON_AREA_MM2 / SCALAR_CORE_AREA_MM2,
         "scalar_core_mm2": SCALAR_CORE_AREA_MM2,
     }
+
+
+@dataclass
+class TablesResult(SerializableResult):
+    """All static tables of the paper as one serializable result."""
+
+    table1: dict[str, dict[str, str]]
+    table2: list[InstructionLatency]
+    table3: list[dict]
+    table5_modules_mm2: dict[str, float]
+    table5: dict[str, float]
+
+
+def run_tables() -> TablesResult:
+    """Reproduce Tables I/II/III/V (analytic: no simulation jobs)."""
+    return TablesResult(
+        table1=table1_isa_comparison(),
+        table2=table2_instruction_latencies(),
+        table3=table3_libraries(),
+        table5_modules_mm2=dict(table5_area().modules_mm2),
+        table5=table5_summary(),
+    )
+
+
+register_experiment(
+    name="tables",
+    description="Tables I/II/III/V: ISA features, latencies, libraries, area",
+    result_type=TablesResult,
+    assemble=lambda runner, options: run_tables(),
+)

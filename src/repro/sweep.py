@@ -1,232 +1,36 @@
-"""Batch-mode sweep CLI: ``python -m repro.sweep {list,run,clear-cache}``.
+"""Deprecated alias for the unified CLI: use ``python -m repro`` instead.
 
-Examples
---------
-List the named sweeps and every registered kernel::
+``python -m repro.sweep`` predates the experiment registry; it accepted only
+raw kernel sweeps.  The unified CLI (:mod:`repro.cli`) supersedes it --
+every old invocation keeps working unchanged::
 
     python -m repro.sweep list
-
-Reproduce the Figure 7 kernel set on 4 worker processes (the second
-invocation answers from the persistent cache)::
-
     python -m repro.sweep run --sweep figure7 --jobs 4
+    python -m repro.sweep run --kernels gemm,csum --kinds mve,rvv --scale 0.25
+    python -m repro.sweep clear-cache
 
-Ad-hoc sweeps compose the axes directly::
-
-    python -m repro.sweep run --kernels gemm,csum --schemes bit-serial,bit-parallel \
-        --kinds mve,rvv --scale 0.25 --jobs 8
-
-``--no-cache`` bypasses the persistent store entirely; ``clear-cache``
-deletes it (location: ``$REPRO_SWEEP_CACHE_DIR`` or ``~/.cache/repro-sweep``).
+but new code should call ``python -m repro`` (which adds experiment runs
+with JSON/CSV export) directly.  The Python-level helpers this module used
+to define (:func:`named_sweep`, :func:`named_sweep_names`,
+:func:`run_sweep`) are re-exported from their new home in :mod:`repro.cli`.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
 from typing import Optional, Sequence
 
-from .core.cache import ResultStore
-from .experiments.figure7 import figure7_sweep_spec
-from .experiments.figure8 import figure8_sweep_spec
-from .experiments.figure9 import figure9_sweep_spec
-from .experiments.figure10 import figure10_sweep_spec
-from .experiments.figure12 import figure12a_sweep_spec, figure12b_sweep_spec
-from .experiments.figure13 import figure13_sweep_spec
-from .experiments.sweep import ParallelSweepEngine, SweepResult, SweepSpec, default_job_count
-from .experiments.tables import format_table, table3_libraries
-from .sram.schemes import SCHEME_NAMES, get_scheme
-from .workloads import kernel_names
+from .cli import main as _cli_main, named_sweep, named_sweep_names, run_sweep
 
 __all__ = ["named_sweep", "named_sweep_names", "run_sweep", "main"]
 
 
-#: name -> (builder from the owning figure module, description, honours
-#: --scale).  Each builder is the same single source of truth the figure's
-#: prefetch uses, so the CLI job set can never drift from the experiment's.
-#: The figure9/10/13 sweeps pin the paper's dataset shapes and ignore scale.
-_NAMED_SWEEPS = {
-    "figure7": (
-        lambda scale: figure7_sweep_spec(scale),
-        "all library kernels, MVE vs the serial baselines",
-        True,
-    ),
-    "figure8": (lambda scale: figure8_sweep_spec(scale), "GPU-comparison kernel set", True),
-    "figure9": (lambda scale: figure9_sweep_spec(), "GEMM/SpMM shape sweeps", False),
-    "figure10": (
-        lambda scale: figure10_sweep_spec(),
-        "MVE and RVV lowerings of the Figure 10 kernels",
-        False,
-    ),
-    "figure12a": (
-        lambda scale: figure12a_sweep_spec(),
-        "Duality Cache comparison kernel set",
-        False,
-    ),
-    "figure12b": (
-        lambda scale: figure12b_sweep_spec(),
-        "array-count scalability sweep",
-        False,
-    ),
-    "figure13": (
-        lambda scale: figure13_sweep_spec(),
-        "all compute schemes, MVE and RVV",
-        False,
-    ),
-}
-
-
-def named_sweep_names() -> list[str]:
-    return sorted(_NAMED_SWEEPS)
-
-
-def named_sweep(name: str, scale: float = 0.5) -> SweepSpec:
-    """One of the predefined evaluation sweeps by name."""
-    try:
-        builder, _, _ = _NAMED_SWEEPS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown sweep {name!r}; available: {', '.join(named_sweep_names())}"
-        ) from None
-    return builder(scale)
-
-
-def run_sweep(spec: SweepSpec, engine: Optional[ParallelSweepEngine] = None) -> SweepResult:
-    """Execute every job of ``spec`` on ``engine`` and time the batch."""
-    engine = engine or ParallelSweepEngine(jobs=default_job_count(), store=ResultStore.default())
-    start = time.perf_counter()
-    outcomes = engine.run_jobs(spec.jobs())
-    return SweepResult(spec=spec, outcomes=outcomes, elapsed_s=time.perf_counter() - start)
-
-
-# ---------------------------------------------------------------------- #
-
-
-def _cmd_list(args: argparse.Namespace) -> int:
-    print("Named sweeps:")
-    for name in named_sweep_names():
-        builder, description, uses_scale = _NAMED_SWEEPS[name]
-        note = "" if uses_scale else " (fixed shapes; ignores --scale)"
-        print(f"  {name:<10} {len(builder(0.5).jobs()):>4} jobs  {description}{note}")
-    print("\nKernels by library (Table III):")
-    rows = [
-        [row["library"], row["domain"], row["dims"], ", ".join(row["kernels"])]
-        for row in table3_libraries()
-    ]
-    print(format_table(["library", "domain", "dims", "kernels"], rows))
-    store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore.default()
-    print(f"\nCache: {store.root} ({len(store)} entries)")
-    return 0
-
-
-def _cmd_clear_cache(args: argparse.Namespace) -> int:
-    store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore.default()
-    removed = store.clear()
-    print(f"removed {removed} cached results from {store.root}")
-    return 0
-
-
-def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
-    scale = 0.5 if args.scale is None else args.scale
-    if args.sweep:
-        try:
-            spec = named_sweep(args.sweep, scale=scale)
-        except KeyError as error:
-            raise SystemExit(f"run: {error.args[0]}") from None
-        if args.scale is not None and not _NAMED_SWEEPS[args.sweep][2]:
-            print(
-                f"note: sweep {args.sweep!r} uses the paper's fixed dataset shapes; "
-                f"--scale {args.scale} is ignored",
-                file=sys.stderr,
-            )
-        return spec
-    if not args.kernels:
-        raise SystemExit("run: pass --sweep NAME or --kernels a,b,c")
-    requested = [name.strip() for name in args.kernels.split(",") if name.strip()]
-    unknown = sorted(set(requested) - set(kernel_names()))
-    if unknown:
-        raise SystemExit(f"unknown kernels: {', '.join(unknown)}")
-    kinds = tuple(kind.strip() for kind in args.kinds.split(",") if kind.strip())
-    bad_kinds = sorted(set(kinds) - {"mve", "rvv"})
-    if bad_kinds:
-        raise SystemExit(f"unknown kinds: {', '.join(bad_kinds)} (choose from mve, rvv)")
-    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
-    for scheme in schemes:
-        try:
-            get_scheme(scheme)
-        except ValueError:
-            raise SystemExit(
-                f"unknown scheme {scheme!r} (choose from {', '.join(SCHEME_NAMES)})"
-            ) from None
-    return SweepSpec(
-        name="custom",
-        kernels=[(name, {"scale": scale}) for name in requested],
-        kinds=kinds,
-        schemes=schemes,
-        default_scale=scale,
-    )
-
-
-def _cmd_run(args: argparse.Namespace) -> int:
-    spec = _spec_from_args(args)
-    store = None
-    if not args.no_cache:
-        store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore.default()
-    engine = ParallelSweepEngine(jobs=args.jobs, store=store)
-    sweep = run_sweep(spec, engine)
-
-    rows = sorted(sweep.outcomes.items(), key=lambda item: (item[0].kernel, item[0].kind))
-    header = f"{'kernel':<12} {'kind':<4} {'scheme':<13} {'cycles':>12} {'time_us':>10} {'energy_nj':>12} {'src':>8}"
-    print(header)
-    print("-" * len(header))
-    for job, outcome in rows:
-        result = outcome.result
-        print(
-            f"{job.kernel:<12} {job.kind:<4} {job.scheme_name:<13} "
-            f"{result.total_cycles:>12.0f} {result.time_us:>10.2f} "
-            f"{result.energy_nj:>12.1f} {outcome.source:>8}"
-        )
-    cache_note = "cache disabled" if args.no_cache else f"cache at {store.root}"
-    print(
-        f"\n{spec.name}: {len(sweep.outcomes)} jobs in {sweep.elapsed_s:.2f}s "
-        f"({sweep.computed} simulated, {sweep.from_cache} from cache, "
-        f"--jobs {args.jobs}, {cache_note})"
-    )
-    return 0
-
-
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.sweep",
-        description="Run kernel sweeps in parallel with persistent result caching.",
+    print(
+        "note: `python -m repro.sweep` is deprecated; use `python -m repro` instead",
+        file=sys.stderr,
     )
-    parser.add_argument("--cache-dir", help="override the persistent cache directory")
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("list", help="show named sweeps, kernels and cache status")
-    sub.add_parser("clear-cache", help="delete every cached result")
-
-    run = sub.add_parser("run", help="execute a sweep")
-    run.add_argument("--sweep", help=f"named sweep ({', '.join(named_sweep_names())})")
-    run.add_argument("--kernels", help="comma-separated kernel names for an ad-hoc sweep")
-    run.add_argument("--kinds", default="mve", help="comma-separated lowerings (mve,rvv)")
-    run.add_argument("--schemes", default="bit-serial", help="comma-separated compute schemes")
-    run.add_argument(
-        "--scale", type=float, default=None,
-        help="dataset scale (default 0.5; ignored by fixed-shape sweeps, see `list`)",
-    )
-    run.add_argument(
-        "--jobs", type=int, default=default_job_count(), help="worker processes (default: cores)"
-    )
-    run.add_argument("--no-cache", action="store_true", help="bypass the persistent cache")
-
-    args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(args)
-    if args.command == "clear-cache":
-        return _cmd_clear_cache(args)
-    return _cmd_run(args)
+    return _cli_main(argv, prog="python -m repro.sweep")
 
 
 if __name__ == "__main__":

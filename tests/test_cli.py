@@ -1,0 +1,167 @@
+"""Tests for the unified ``python -m repro`` CLI and the repro.sweep shim.
+
+The expensive full-scale experiment exports run in CI; here the CLI is
+exercised on cheap experiments (tables, ad-hoc sweeps) and the export
+schema is pinned against the checked-in golden outline.
+"""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main, schema_outline
+from repro.experiments import ExperimentRunner
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.tables import TablesResult
+from repro.sweep import main as legacy_main
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+class TestList:
+    def test_lists_experiments_sweeps_and_cache(self, tmp_path, capsys):
+        assert cli_main(["--cache-dir", str(tmp_path), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "Experiments" in out
+        assert "figure7" in out and "tables" in out
+        assert "Named sweeps" in out
+        assert str(tmp_path) in out
+
+
+class TestRunExperimentCommand:
+    def test_tables_json_export(self, tmp_path, capsys):
+        out_path = tmp_path / "tables.json"
+        argv = ["--cache-dir", str(tmp_path / "cache"), "run", "tables",
+                "--jobs", "1", "--export", "json", "--out", str(out_path)]
+        assert cli_main(argv) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["experiment"] == "tables"
+        assert payload["options"]["scale"] == 0.5
+        assert "num_arrays" in json.dumps(payload["options"]["config"])
+        # The exported result deserializes back into the result type.
+        restored = TablesResult.from_dict(payload["result"])
+        assert restored.table5["mve_overhead_percent"] == pytest.approx(3.6, abs=0.2)
+
+    def test_tables_csv_export_to_stdout(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path / "cache"), "run", "tables",
+                "--jobs", "1", "--export", "csv"]
+        assert cli_main(argv) == 0
+        rows = list(csv.DictReader(capsys.readouterr().out.splitlines()))
+        sections = {row["section"] for row in rows}
+        assert {"table1", "table2", "table3", "summary"} <= sections
+        opcodes = {row["opcode"] for row in rows if row["section"] == "table2"}
+        assert "vadd" in opcodes
+
+    def test_human_readable_run_prints_tables(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path / "cache"), "run", "tables", "--jobs", "1"]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "tables.table2" in out and "vadd" in out
+        assert "assembled in" in out
+
+    def test_unknown_experiment_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="figure99"):
+            cli_main(["--cache-dir", str(tmp_path), "run", "figure99"])
+
+    def test_experiment_name_combined_with_sweep_or_kernels_is_rejected(self, tmp_path):
+        """Regression: `run tables --sweep figure10` used to silently drop
+        the experiment name and run the sweep."""
+        with pytest.raises(SystemExit, match="not both"):
+            cli_main(["--cache-dir", str(tmp_path), "run", "tables", "--sweep", "figure10"])
+        with pytest.raises(SystemExit, match="not both"):
+            cli_main(["--cache-dir", str(tmp_path), "run", "tables", "--kernels", "csum"])
+
+
+class TestRunSweepCommand:
+    def test_adhoc_sweep_json_export(self, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        argv = ["--cache-dir", str(tmp_path / "cache"), "run", "--kernels", "csum",
+                "--scale", "0.25", "--jobs", "1", "--export", "json",
+                "--out", str(out_path)]
+        assert cli_main(argv) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == 1 and payload["sweep"] == "custom"
+        (job,) = payload["jobs"]
+        assert job["kernel"] == "csum" and job["kind"] == "mve"
+        assert job["source"] == "computed"
+        assert job["result"]["total_cycles"] > 0
+        assert len(job["cache_key"]) == 64
+
+    def test_adhoc_sweep_csv_export(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path / "cache"), "run", "--kernels",
+                "csum,memcpy", "--scale", "0.25", "--jobs", "1", "--export", "csv"]
+        assert cli_main(argv) == 0
+        rows = list(csv.DictReader(capsys.readouterr().out.splitlines()))
+        assert {row["kernel"] for row in rows} == {"csum", "memcpy"}
+        assert all(float(row["result.total_cycles"]) > 0 for row in rows)
+
+    def test_progress_streams_to_stderr(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path / "cache"), "run", "--kernels",
+                "csum,memcpy", "--scale", "0.25", "--jobs", "1"]
+        assert cli_main(argv) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err and "[2/2]" in err
+
+    def test_no_progress_silences_stderr(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path / "cache"), "run", "--kernels", "csum",
+                "--scale", "0.25", "--jobs", "1", "--no-progress"]
+        assert cli_main(argv) == 0
+        assert "[1/1]" not in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        cli_main(["--cache-dir", cache_dir, "run", "--kernels", "csum",
+                  "--scale", "0.25", "--jobs", "1", "--no-progress"])
+        capsys.readouterr()
+        assert cli_main(["--cache-dir", cache_dir, "cache"]) == 0
+        assert "(1 entries)" in capsys.readouterr().out
+        assert cli_main(["--cache-dir", cache_dir, "cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+
+class TestExportSchemaGolden:
+    def test_figure7_export_schema_matches_golden(self):
+        """The CI smoke step exports full-scale figure7 and compares the same
+        outline; this pins it at reduced scale (the outline is scale-free)."""
+        result = run_figure7(
+            ExperimentRunner(default_scale=0.1), scale=0.1, libraries=["zlib", "Skia"]
+        )
+        with open(os.path.join(GOLDEN_DIR, "figure7_export_schema.json")) as handle:
+            golden = json.load(handle)
+        assert schema_outline(result.to_dict()) == golden
+
+
+class TestDeprecatedSweepShim:
+    def test_shim_delegates_and_warns(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path / "cache"), "run", "--kernels", "csum",
+                "--scale", "0.25", "--jobs", "1"]
+        assert legacy_main(argv) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "1 jobs" in captured.out and "1 simulated" in captured.out
+
+    def test_shim_named_sweep_matches_experiment_jobs(self):
+        from repro.experiments import ExperimentOptions, get_experiment
+        from repro.sweep import named_sweep, named_sweep_names
+
+        assert "figure7" in named_sweep_names()
+        spec = named_sweep("figure13")
+        assert spec.jobs() == get_experiment("figure13").jobs(ExperimentOptions())
+
+    def test_named_sweeps_carry_their_own_name(self):
+        """Regression: figure11 reuses figure10's spec, so exposing it as a
+        raw sweep would export payloads labelled \"figure10\"; multi-spec
+        figure12 cannot be one raw sweep either."""
+        from repro.sweep import named_sweep, named_sweep_names
+
+        names = named_sweep_names()
+        assert "figure11" not in names and "figure12" not in names
+        for name in names:
+            assert named_sweep(name).name == name
+        with pytest.raises(KeyError, match="not a single raw sweep"):
+            named_sweep("figure11")

@@ -1,0 +1,312 @@
+"""Tests for the experiment registry and result (de)serialization.
+
+Covers the API-redesign acceptance criteria: every figure/table is
+registered, registry-built job sets are identical (same cache keys) to the
+pre-redesign ``run_figureN`` paths, and every result type survives a JSON
+round trip bit-exactly.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.cache import ResultStore
+from repro.core.config import default_config
+from repro.experiments import (
+    ExperimentOptions,
+    ExperimentRunner,
+    TablesResult,
+    build_runner,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+    run_tables,
+)
+from repro.experiments.figure7 import Figure7Result, LibraryComparison, figure7_sweep_spec, run_figure7
+from repro.experiments.figure8 import Figure8Result, GpuComparison, figure8_sweep_spec
+from repro.experiments.figure9 import Figure9Result, SweepPoint, figure9_sweep_spec
+from repro.experiments.figure10 import (
+    FIGURE10_KERNELS,
+    Figure10Result,
+    RvvComparison,
+    figure10_sweep_spec,
+    kernel_run_parameters,
+)
+from repro.experiments.figure11 import Figure11Result, InstructionMix
+from repro.experiments.figure12 import (
+    DualityCacheComparison,
+    Figure12Result,
+    Figure12aResult,
+    Figure12bResult,
+    Figure12cResult,
+    PrecisionPoint,
+    ScalabilityPoint,
+    figure12a_sweep_spec,
+    figure12b_sweep_spec,
+    run_figure12a,
+)
+from repro.experiments.figure13 import Figure13Result, SchemeComparison, figure13_sweep_spec
+from repro.experiments.sweep import ParallelSweepEngine
+
+
+ALL_EXPERIMENTS = {
+    "tables",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure12a",
+    "figure12b",
+    "figure12c",
+    "figure13",
+}
+
+
+class TestRegistryCompleteness:
+    def test_every_figure_and_table_is_registered(self):
+        assert set(experiment_names()) == ALL_EXPERIMENTS
+
+    def test_unknown_experiment_raises_with_choices(self):
+        with pytest.raises(KeyError, match="figure7"):
+            get_experiment("figure99")
+
+    def test_registry_jobs_match_legacy_sweep_specs(self):
+        """The registry builds the exact job sets the run_figureN paths use."""
+        options = ExperimentOptions(scale=0.5)
+        legacy = {
+            "figure7": figure7_sweep_spec(0.5),
+            "figure8": figure8_sweep_spec(0.5),
+            "figure9": figure9_sweep_spec(),
+            "figure10": figure10_sweep_spec(),
+            "figure11": figure10_sweep_spec(),  # same runs, different view
+            "figure12a": figure12a_sweep_spec(),
+            "figure12b": figure12b_sweep_spec(),
+            "figure13": figure13_sweep_spec(),
+        }
+        for name, spec in legacy.items():
+            assert get_experiment(name).jobs(options) == list(dict.fromkeys(spec.jobs())), name
+        union = set(figure12a_sweep_spec().jobs()) | set(figure12b_sweep_spec().jobs())
+        assert set(get_experiment("figure12").jobs(options)) == union
+
+    def test_registry_cache_keys_match_legacy_runner_jobs(self):
+        """Bit-identical cache keys: registry jobs hash exactly as the jobs
+        the figure loops request through the runner."""
+        runner = ExperimentRunner()
+        options = ExperimentOptions(config=runner.config)
+        registry_jobs = set(get_experiment("figure10").jobs(options))
+        legacy_jobs = {
+            runner.job(name, kind, **kernel_run_parameters(name))
+            for name, _ in FIGURE10_KERNELS
+            for kind in ("mve", "rvv")
+        }
+        assert registry_jobs == legacy_jobs
+        assert {j.cache_key() for j in registry_jobs} == {
+            j.cache_key() for j in legacy_jobs
+        }
+
+    def test_static_experiments_have_no_jobs(self):
+        assert get_experiment("tables").jobs() == []
+        assert get_experiment("figure12c").jobs() == []
+
+
+def roundtrip(result):
+    """to_dict -> JSON -> from_dict; must compare equal (bit-exact floats)."""
+    payload = json.loads(json.dumps(result.to_dict()))
+    return type(result).from_dict(payload)
+
+
+SYNTHETIC_RESULTS = [
+    Figure7Result(
+        libraries=[
+            LibraryComparison(
+                library="zlib", dims="1D", speedup=2.5, energy_ratio=8.0,
+                idle_fraction=0.4, compute_fraction=0.25, data_fraction=0.35,
+                kernels=["adler32", "crc32"],
+            )
+        ],
+        mean_speedup=2.5, mean_energy_ratio=8.0, mean_idle_fraction=0.4,
+        mean_compute_fraction=0.25, mean_data_fraction=0.35,
+    ),
+    Figure8Result(
+        kernels=[
+            GpuComparison(
+                kernel="gemm", time_ratio_with_transfer=9.3,
+                time_ratio_kernel_only=2.4, energy_ratio=5.2,
+                gpu_transfer_fraction=0.7,
+            )
+        ],
+        mean_time_ratio=9.3, mean_kernel_only_ratio=2.4, mean_energy_ratio=5.2,
+    ),
+    Figure9Result(
+        gemm_points=[
+            SweepPoint(kernel="gemm", shape=(32, 32, 32), flops=65536.0,
+                       mve_time_ms=0.01, gpu_time_ms=0.05)
+        ],
+        spmm_points=[
+            SweepPoint(kernel="spmm", shape=(32, 64, 32, 8), flops=16384.0,
+                       mve_time_ms=0.02, gpu_time_ms=0.04)
+        ],
+    ),
+    Figure10Result(
+        kernels=[
+            RvvComparison(
+                kernel="gemm", dims="2D", time_ratio=0.5,
+                vector_instruction_ratio=2.3, scalar_instruction_ratio=2.0,
+                mve_breakdown={"idle": 0.4, "compute": 0.3, "data_access": 0.3},
+                rvv_breakdown={"idle": 0.6, "compute": 0.2, "data_access": 0.2},
+                mve_vector_instructions={"vadd": 10, "vmul": 5},
+                rvv_vector_instructions={"vadd": 30, "vmul": 12},
+                mve_scalar_instructions=100, rvv_scalar_instructions=200,
+                mve_cb_utilization=0.9, rvv_cb_utilization=0.5,
+            )
+        ],
+        mean_speedup_over_rvv=2.0, mean_vector_instruction_reduction=2.3,
+        mean_scalar_instruction_reduction=2.0, mean_mve_cb_utilization=0.9,
+        mean_rvv_cb_utilization=0.5,
+    ),
+    Figure11Result(
+        kernels=[
+            InstructionMix(
+                kernel="gemm", dims="2D",
+                mve_counts={"memory": 4, "arithmetic": 11},
+                rvv_counts={"memory": 12, "arithmetic": 30},
+                mve_scalar=100, rvv_scalar=200,
+            )
+        ],
+        mean_vector_reduction=2.3, mean_scalar_reduction=2.0,
+    ),
+    Figure12Result(
+        duality_cache=[
+            DualityCacheComparison(
+                kernel="gemm", dc_over_mve_time=1.5,
+                dc_breakdown={"idle": 0.0, "compute": 0.9, "data_access": 0.1},
+            )
+        ],
+        scalability=[
+            ScalabilityPoint(kernel="gemm", num_arrays=8, normalized_time=1.0,
+                             breakdown={"idle": 0.4, "compute": 0.3, "data_access": 0.3})
+        ],
+        precision=[
+            PrecisionPoint(precision="FLOAT32", normalized_time=1.0, speedup_over_neon=2.9)
+        ],
+        mean_dc_slowdown=1.5,
+    ),
+    Figure12aResult(rows=[
+        DualityCacheComparison(kernel="fir_s", dc_over_mve_time=2.2,
+                               dc_breakdown={"idle": 0.0, "compute": 0.7, "data_access": 0.3})
+    ]),
+    Figure12bResult(points=[
+        ScalabilityPoint(kernel="fir_l", num_arrays=64, normalized_time=0.2,
+                         breakdown={"idle": 0.5, "compute": 0.2, "data_access": 0.3})
+    ]),
+    Figure12cResult(points=[
+        PrecisionPoint(precision="INT16", normalized_time=0.4, speedup_over_neon=5.0)
+    ]),
+    Figure13Result(schemes=[
+        SchemeComparison(
+            scheme="bit-serial", time_ratio=0.26,
+            mve_breakdown={"idle": 0.4, "compute": 0.3, "data_access": 0.3},
+            rvv_breakdown={"idle": 0.6, "compute": 0.2, "data_access": 0.2},
+        )
+    ]),
+]
+
+
+class TestResultSerialization:
+    @pytest.mark.parametrize(
+        "result", SYNTHETIC_RESULTS, ids=lambda r: type(r).__name__
+    )
+    def test_synthetic_roundtrip(self, result):
+        restored = roundtrip(result)
+        assert restored == result
+        # Nested dataclasses are rebuilt as their classes, not dicts.
+        assert restored.to_dict() == result.to_dict()
+
+    def test_tuple_fields_survive_roundtrip(self):
+        point = SweepPoint(kernel="gemm", shape=(128, 64, 64), flops=1.0,
+                           mve_time_ms=1.0, gpu_time_ms=2.0)
+        assert roundtrip(point).shape == (128, 64, 64)
+
+    def test_tables_roundtrip(self):
+        result = run_tables()
+        assert roundtrip(result) == result
+
+    def test_real_figure7_roundtrip(self):
+        """An engine-produced result (numpy-derived floats included) survives
+        the JSON round trip bit-exactly."""
+        runner = ExperimentRunner(default_scale=0.1)
+        result = run_figure7(runner, scale=0.1, libraries=["zlib"])
+        assert roundtrip(result) == result
+
+
+class TestRunExperiment:
+    def test_assembled_result_is_cached_in_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = build_runner(jobs=1, store=store)
+        options = ExperimentOptions(config=runner.config)
+        result = run_experiment("tables", runner=runner, options=options)
+        assert isinstance(result, TablesResult)
+        key = get_experiment("tables").cache_key(options)
+        assert store.load(key) is not None
+        # A fresh runner on the same store answers without reassembling.
+        again = run_experiment("tables", runner=build_runner(jobs=1, store=store))
+        assert again == result
+
+    def test_no_cache_skips_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = build_runner(jobs=1, store=store)
+        run_experiment("tables", runner=runner, use_cache=False)
+        assert len(store) == 0
+
+    def test_no_cache_without_runner_builds_storeless_engine(self, monkeypatch, tmp_path):
+        """Regression: use_cache=False with an auto-built runner must not
+        attach the default persistent store to the engine."""
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+        run_experiment("tables", use_cache=False)
+        assert len(ResultStore(tmp_path)) == 0
+
+    def test_ignored_scale_does_not_change_cache_key(self):
+        """Regression: fixed-shape experiments told the user --scale was
+        ignored but still keyed the assembled result on it."""
+        figure10 = get_experiment("figure10")
+        config = default_config()
+        assert figure10.cache_key(
+            ExperimentOptions(scale=0.5, config=config)
+        ) == figure10.cache_key(ExperimentOptions(scale=0.7, config=config))
+        figure7 = get_experiment("figure7")
+        assert figure7.cache_key(
+            ExperimentOptions(scale=0.5, config=config)
+        ) != figure7.cache_key(ExperimentOptions(scale=0.7, config=config))
+
+    def test_engine_backed_experiment_with_streaming(self, tmp_path):
+        """run_experiment prefetches the registry job set through the engine,
+        streaming per-job progress, and returns the assembled result."""
+        store = ResultStore(tmp_path)
+        runner = build_runner(jobs=1, store=store)
+        seen = []
+        result = run_experiment(
+            "figure12a",
+            runner=runner,
+            on_result=lambda job, outcome, completed, total: seen.append(
+                (job.kernel, completed, total)
+            ),
+        )
+        expected = get_experiment("figure12a").jobs(
+            ExperimentOptions(config=runner.config)
+        )
+        assert [c for _, c, _ in seen] == list(range(1, len(expected) + 1))
+        assert all(total == len(expected) for *_, total in seen)
+        assert result == Figure12aResult(rows=run_figure12a(runner))
+
+    def test_config_override_rebinds_runner(self, tmp_path):
+        """An explicit options.config produces jobs keyed on that config."""
+        runner = build_runner(jobs=1, store=ResultStore(tmp_path))
+        wide = default_config().with_arrays(64)
+        result = run_experiment(
+            "figure12a", runner=runner, options=ExperimentOptions(config=wide)
+        )
+        default = run_experiment("figure12a", runner=runner)
+        assert result != default

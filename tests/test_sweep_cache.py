@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+import os
 import time
 
 import pytest
@@ -9,7 +10,12 @@ import pytest
 from repro.core.cache import CACHE_SCHEMA_VERSION, ResultStore, stable_hash
 from repro.core.config import default_config
 from repro.experiments import ExperimentRunner
-from repro.experiments.sweep import KernelJob, ParallelSweepEngine, SweepSpec
+from repro.experiments.sweep import (
+    KernelJob,
+    ParallelSweepEngine,
+    SweepSpec,
+    default_job_count,
+)
 from repro.sweep import main as sweep_cli
 
 SMALL_JOB = KernelJob(kernel="csum", scale=0.25)
@@ -136,6 +142,122 @@ class TestParallelSweepEngine:
         print(f"\ncold {cold_s * 1e3:.1f} ms vs warm {warm_s * 1e3:.1f} ms "
               f"({cold_s / max(warm_s, 1e-9):.0f}x)")
         assert warm_s * 5 <= cold_s
+
+
+class TestDefaultJobCount:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "3")
+        assert default_job_count() == 3
+
+    def test_invalid_env_warns_and_falls_back(self, monkeypatch):
+        """Regression: a non-integer REPRO_SWEEP_JOBS used to raise a bare
+        ValueError deep inside the engine."""
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_SWEEP_JOBS"):
+            assert default_job_count() == max(1, os.cpu_count() or 1)
+
+    def test_zero_is_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "0")
+        assert default_job_count() == 1
+
+
+class TestStreaming:
+    SPEC = SweepSpec(
+        name="stream",
+        kernels=[("csum", {"scale": 0.25}), ("memcpy", {"scale": 0.25}),
+                 ("adler32", {"scale": 0.25})],
+    )
+
+    def test_serial_on_result_streams_and_persists_incrementally(self, tmp_path):
+        store = ResultStore(tmp_path)
+        engine = ParallelSweepEngine(jobs=1, store=store)
+        seen = []
+
+        def on_result(job, outcome, completed, total):
+            # Partial results are persisted before the callback fires.
+            assert store.load(job.cache_key()) is not None
+            seen.append((job, outcome.source, completed, total))
+
+        outcomes = engine.run_jobs(self.SPEC.jobs(), on_result=on_result)
+        assert [c for *_, c, _ in seen] == [1, 2, 3]
+        assert all(total == 3 for *_, total in seen)
+        assert all(source == "computed" for _, source, *_ in seen)
+        assert {job for job, *_ in seen} == set(outcomes)
+
+    def test_cached_jobs_stream_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ParallelSweepEngine(jobs=1, store=store).run_jobs(self.SPEC.jobs()[:2])
+        engine = ParallelSweepEngine(jobs=1, store=store)
+        sources = []
+        engine.run_jobs(
+            self.SPEC.jobs(),
+            on_result=lambda job, outcome, completed, total: sources.append(outcome.source),
+        )
+        assert sources == ["disk", "disk", "computed"]
+
+    def test_parallel_on_result_covers_every_job(self, tmp_path):
+        engine = ParallelSweepEngine(jobs=4, store=ResultStore(tmp_path))
+        seen = []
+        outcomes = engine.run_jobs(
+            self.SPEC.jobs(),
+            on_result=lambda job, outcome, completed, total: seen.append((job, completed)),
+        )
+        # Completion order is arbitrary, but the progress counter is dense
+        # and every job is reported exactly once.
+        assert sorted(c for _, c in seen) == [1, 2, 3]
+        assert {job for job, _ in seen} == set(outcomes)
+        serial = ParallelSweepEngine(jobs=1).run_jobs(self.SPEC.jobs())
+        for job, outcome in serial.items():
+            assert outcomes[job].result.to_dict() == outcome.result.to_dict()
+
+    def test_run_jobs_preserves_request_order(self, tmp_path):
+        engine = ParallelSweepEngine(jobs=4, store=ResultStore(tmp_path))
+        jobs = self.SPEC.jobs()
+        assert list(engine.run_jobs(jobs)) == jobs
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_callback_oserror_propagates_without_resimulation(self, tmp_path, jobs):
+        """Regression: an OSError raised by the on_result callback (e.g. a
+        BrokenPipeError from a closed progress stream) must propagate, not be
+        mistaken for a broken worker pool and trigger silent re-simulation."""
+        engine = ParallelSweepEngine(jobs=jobs, store=ResultStore(tmp_path))
+
+        def explode(job, outcome, completed, total):
+            raise BrokenPipeError("progress stream closed")
+
+        with pytest.raises(BrokenPipeError):
+            engine.run_jobs(self.SPEC.jobs(), on_result=explode)
+        assert engine.computed == 1  # failed after the first emit, no redo
+
+
+class TestBaselineMemo:
+    def test_run_neon_answers_from_memo_not_store(self, tmp_path):
+        """Regression: run_neon/run_gpu re-read and re-deserialized the
+        persistent store on every call."""
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner(engine=ParallelSweepEngine(jobs=1, store=store))
+        first = runner.run_neon("csum", scale=0.25)
+        lookups = store.hits + store.misses
+        assert runner.run_neon("csum", scale=0.25) == first
+        assert runner.run_gpu("csum", scale=0.25) == runner.run_gpu("csum", scale=0.25)
+        assert store.hits + store.misses == lookups + 1  # one gpu miss, no re-reads
+
+    def test_run_neon_honours_config_override(self):
+        runner = ExperimentRunner()
+        slow = dataclasses.replace(default_config(), frequency_ghz=1.4)
+        base = runner.run_neon("csum", scale=0.25)
+        slowed = runner.run_neon("csum", scale=0.25, config=slow)
+        assert slowed.frequency_ghz == 1.4
+        assert slowed.time_ms > base.time_ms
+
+    def test_run_gpu_honours_config_keying(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner(engine=ParallelSweepEngine(jobs=1, store=store))
+        wide = default_config().with_arrays(64)
+        runner.run_gpu("csum", scale=0.25)
+        entries = len(store)
+        runner.run_gpu("csum", scale=0.25, config=wide)
+        assert len(store) == entries + 1  # distinct config, distinct entry
 
 
 class TestSweepSpec:
