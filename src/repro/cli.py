@@ -1,4 +1,4 @@
-"""Unified experiment CLI: ``python -m repro {list,run,cache}``.
+"""Unified experiment CLI: ``python -m repro {list,run,cache,serve}``.
 
 Every table/figure of the paper is a registered experiment; ``run`` executes
 one end to end (sharded over worker processes, answered from the persistent
@@ -21,6 +21,17 @@ disables it).  ``cache`` shows or clears the persistent store (location:
 ``$REPRO_SWEEP_CACHE_DIR`` or ``~/.cache/repro-sweep``); ``--no-cache``
 bypasses it for one run.  ``python -m repro.sweep`` is a deprecated alias
 of this CLI.
+
+Multi-machine sweeps share one cache through the HTTP cache service::
+
+    python -m repro serve --port 8750                  # on one machine
+    python -m repro run figure7 --remote-cache http://cachehost:8750
+    REPRO_REMOTE_CACHE=http://cachehost:8750 python -m repro run figure7
+
+With a remote cache configured, reads try the local directory first and
+fall through to the service (populating the local tier); writes go to
+both.  An unreachable or failing service degrades to local-only operation
+after a single warning.  ``cache`` then reports both tiers.
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ import io
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence, TextIO
 
 from .core.cache import ResultStore
@@ -236,8 +248,13 @@ def _write_export(payload: dict, fmt: str, out_path: Optional[str]) -> None:
 # ---------------------------------------------------------------------- #
 
 
+def _remote_url_for(args: argparse.Namespace) -> Optional[str]:
+    return getattr(args, "remote_cache", None) or ResultStore.default_remote_url()
+
+
 def _store_for(args: argparse.Namespace) -> ResultStore:
-    return ResultStore(args.cache_dir) if args.cache_dir else ResultStore.default()
+    root = Path(args.cache_dir) if args.cache_dir else ResultStore.default_dir()
+    return ResultStore(root, remote=_remote_url_for(args))
 
 
 def _progress(stream: TextIO) -> OnResult:
@@ -271,13 +288,54 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_remote_status(store: ResultStore) -> None:
+    """One status line for the remote tier, when one is configured."""
+    remote = store.remote
+    if remote is None:
+        return
+    stats = remote.stats()
+    if stats is None:
+        print(f"Remote: {remote.base_url} (unreachable)")
+        return
+    print(
+        f"Remote: {remote.base_url} ({stats.get('entries', 0)} entries, "
+        f"{stats.get('hits_served', 0)} hits served, "
+        f"{stats.get('puts', 0)} puts accepted)"
+    )
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = _store_for(args)
     if getattr(args, "action", "info") == "clear":
         removed = store.clear()
         print(f"removed {removed} cached results from {store.root}")
+        if store.remote is not None:
+            print(f"note: remote tier at {store.remote.base_url} left untouched")
     else:
         print(f"Cache: {store.root} ({len(store)} entries)")
+        _print_remote_status(store)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core.cache_service import CacheServer
+
+    root = Path(args.cache_dir) if args.cache_dir else ResultStore.default_dir()
+    try:
+        server = CacheServer((args.host, args.port), root=root, verbose=args.verbose)
+    except (OSError, OverflowError) as error:
+        # Port in use, privileged/out-of-range port, unresolvable host, ...
+        raise SystemExit(f"serve: cannot bind {args.host}:{args.port}: {error}") from None
+    host, port = server.server_address[:2]
+    print(f"repro cache service listening on http://{host}:{port}")
+    print(f"store: {root} ({len(server.backend)} entries)")
+    print("point workers at it with --remote-cache or $REPRO_REMOTE_CACHE")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
     return 0
 
 
@@ -338,6 +396,8 @@ def _print_sweep(sweep: SweepResult, args: argparse.Namespace, store) -> None:
             f"{result.energy_nj:>12.1f} {outcome.source:>8}"
         )
     cache_note = "cache disabled" if store is None else f"cache at {store.root}"
+    if store is not None and store.remote is not None:
+        cache_note += f" + remote {store.remote.base_url}"
     print(
         f"\n{sweep.spec.name}: {len(sweep.outcomes)} jobs in {sweep.elapsed_s:.2f}s "
         f"({sweep.computed} simulated, {sweep.from_cache} from cache, "
@@ -426,10 +486,16 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
         "parallel execution, persistent caching and JSON/CSV export.",
     )
     parser.add_argument("--cache-dir", default=None, help="override the persistent cache directory")
+    parser.add_argument(
+        "--remote-cache", default=None, metavar="URL",
+        help="shared cache service to read through / write back to "
+        "(default: $REPRO_REMOTE_CACHE; start one with `serve`)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     listp = sub.add_parser("list", help="show experiments, sweeps, kernels and cache status")
     listp.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    listp.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
     run = sub.add_parser("run", help="run an experiment or a raw kernel sweep")
     run.add_argument(
@@ -457,10 +523,22 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
         "--no-progress", action="store_true", help="do not stream per-job progress to stderr"
     )
     run.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    run.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
     cache = sub.add_parser("cache", help="show or clear the persistent result cache")
     cache.add_argument("action", nargs="?", choices=("info", "clear"), default="info")
     cache.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    cache.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+    serve = sub.add_parser(
+        "serve", help="serve the result cache over HTTP for multi-machine sweeps"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8750, help="port to listen on (default: 8750; 0 = ephemeral)"
+    )
+    serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
+    serve.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
     legacy_clear = sub.add_parser("clear-cache", help="(deprecated) alias for `cache clear`")
     legacy_clear.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
@@ -470,6 +548,8 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
         return _cmd_list(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "clear-cache":
         args.action = "clear"
         return _cmd_cache(args)

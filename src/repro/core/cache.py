@@ -1,17 +1,24 @@
-"""Content-addressed, on-disk result store for simulation outcomes.
+"""Content-addressed result store for simulation outcomes.
 
 Simulating one kernel trace is deterministic: the result is a pure function
 of the kernel (name, scale, constructor kwargs), the lowering (MVE or RVV),
 the compute scheme and the full :class:`~repro.core.config.MachineConfig`.
 The store exploits that by hashing all of those inputs -- plus a fingerprint
 of the simulator source tree, so any code change invalidates every entry --
-into a cache key, and keeping one small JSON payload per key on disk.
+into a cache key, and keeping one small JSON record per key.
 
-Entries are written atomically and loaded defensively: a truncated or
-corrupted file is treated as a miss and deleted, never trusted.  The store
-lives at ``$REPRO_SWEEP_CACHE_DIR`` (default ``~/.cache/repro-sweep``) and
-is safe to delete wholesale at any time; ``python -m repro cache clear``
-does exactly that.
+Storage is pluggable (:mod:`repro.core.store_backend`): by default records
+live as files under ``$REPRO_SWEEP_CACHE_DIR`` (default
+``~/.cache/repro-sweep``), written atomically and loaded defensively -- a
+truncated or corrupted file is treated as a miss and deleted, never
+trusted.  When a remote cache service URL is configured (the ``remote=``
+argument, ``--remote-cache`` on the CLI or ``$REPRO_REMOTE_CACHE``), the
+local directory becomes the first tier of a
+:class:`~repro.core.store_backend.TieredBackend` in front of the shared
+HTTP service (``python -m repro serve``), so every machine pointing at the
+same server shares one fleet-wide cache.  The store is safe to delete
+wholesale at any time; ``python -m repro cache clear`` does exactly that
+(local tier only -- never the shared service).
 """
 
 from __future__ import annotations
@@ -21,9 +28,15 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 from .config import MachineConfig
+from .store_backend import (
+    CACHE_SCHEMA_VERSION,
+    LocalDirBackend,
+    StoreBackend,
+    TieredBackend,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -35,10 +48,8 @@ __all__ = [
     "store_cached_result",
 ]
 
-#: bump when the payload layout changes incompatibly
-CACHE_SCHEMA_VERSION = 1
-
 _ENV_CACHE_DIR = "REPRO_SWEEP_CACHE_DIR"
+_ENV_REMOTE_CACHE = "REPRO_REMOTE_CACHE"
 
 _code_fingerprint: Optional[str] = None
 
@@ -80,7 +91,7 @@ def load_cached_result(store: Optional["ResultStore"], key: str, result_type):
 
     Single source of truth for the result-payload schema and its
     corruption tolerance, shared by every cached producer (simulation jobs,
-    baseline models, raw traces).
+    baseline models, raw traces, assembled experiment results).
     """
     if store is None:
         return None
@@ -101,12 +112,36 @@ def store_cached_result(store: Optional["ResultStore"], key: str, result) -> Non
 
 
 class ResultStore:
-    """One JSON file per cache key under ``root``, sharded by key prefix."""
+    """Schema-checked record store over a pluggable storage backend.
 
-    def __init__(self, root: str | os.PathLike):
+    Records live in a :class:`LocalDirBackend` rooted at ``root``; passing
+    ``remote`` (a cache-service URL or any ready :class:`StoreBackend`)
+    stacks a :class:`TieredBackend` on top so reads fall through to -- and
+    writes replicate into -- the shared service.  The store validates the
+    schema marker and counts hits/misses; durability, atomicity and
+    network failure handling live in the backends.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        remote: Optional[Union[str, StoreBackend]] = None,
+    ):
         self.root = Path(root)
+        backend: StoreBackend = LocalDirBackend(self.root)
+        # `is not None`, not truthiness: a StoreBackend's __len__ may
+        # probe the network, and an empty remote is still a remote.
+        if remote is not None:
+            if isinstance(remote, str):
+                from .cache_service import RemoteStore
+
+                remote = RemoteStore(remote)
+            backend = TieredBackend(backend, remote)
+        self.backend = backend
         self.hits = 0
         self.misses = 0
+        #: tier that answered the most recent hit ("local"/"remote"), or None
+        self.last_tier: Optional[str] = None
 
     @classmethod
     def default_dir(cls) -> Path:
@@ -116,65 +151,56 @@ class ResultStore:
         return Path.home() / ".cache" / "repro-sweep"
 
     @classmethod
+    def default_remote_url(cls) -> Optional[str]:
+        return os.environ.get(_ENV_REMOTE_CACHE) or None
+
+    @classmethod
     def default(cls) -> "ResultStore":
-        return cls(cls.default_dir())
+        return cls(cls.default_dir(), remote=cls.default_remote_url())
+
+    @property
+    def remote(self):
+        """The remote-tier backend when one is configured, else None."""
+        return getattr(self.backend, "remote", None)
 
     def _path(self, key: str) -> Path:
+        # Kept as the stable address of a local entry (tests and tooling
+        # poke at files directly); matches LocalDirBackend's layout.
         return self.root / key[:2] / f"{key}.json"
+
+    def prefetch(self, keys) -> None:
+        """Hint that ``keys`` are about to be loaded.
+
+        Backends with a batched probe (the tiered store's remote tier) use
+        it to collapse per-key miss round trips into one request; plain
+        backends ignore it.
+        """
+        hook = getattr(self.backend, "prefetch", None)
+        if hook is not None:
+            hook(list(keys))
 
     def load(self, key: str) -> Optional[dict]:
         """The stored payload for ``key``, or None on miss or corruption."""
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            if path.exists():
-                # Corrupted (truncated write, bad encoding, ...): drop it so
-                # the recomputed result can take its place.
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+        record = self.backend.load(key)
+        if not isinstance(record, dict) or record.get("schema") != CACHE_SCHEMA_VERSION:
             self.misses += 1
-            return None
-        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA_VERSION:
-            self.misses += 1
+            self.last_tier = None
             return None
         self.hits += 1
-        return payload
+        self.last_tier = getattr(self.backend, "last_tier", "local") or "local"
+        return record
 
     def store(self, key: str, payload: dict) -> None:
         """Atomically persist ``payload`` (merged with the schema marker)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        record = {"schema": CACHE_SCHEMA_VERSION, **payload}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(record, handle)
-            os.replace(tmp, path)
-        except OSError:
-            # A read-only or full cache directory degrades to a no-op cache.
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
+        self.backend.store(key, {"schema": CACHE_SCHEMA_VERSION, **payload})
 
     def __len__(self) -> int:
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self.backend)
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
-        removed = 0
-        if not self.root.exists():
-            return removed
-        for path in self.root.glob("*/*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
+        """Delete every local entry; returns the number removed.
+
+        Never touches a remote tier: clearing one worker's directory must
+        not wipe the cache the rest of the fleet relies on.
+        """
+        return self.backend.clear()

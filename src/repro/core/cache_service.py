@@ -1,0 +1,422 @@
+"""Shared result-cache service: the content-addressed store over HTTP.
+
+One machine runs ``python -m repro serve``; every other machine (and CI
+run) points ``--remote-cache URL`` or ``$REPRO_REMOTE_CACHE`` at it and the
+fleet stops re-simulating jobs any member has already computed.  The wire
+protocol is deliberately tiny -- JSON records addressed by hex cache key,
+stdlib only on both sides:
+
+====================  =====================================================
+``GET  /v1/entry/K``  200 + the record, or 404 on a miss
+``HEAD /v1/entry/K``  200 / 404 without a body
+``PUT  /v1/entry/K``  204; truncated or non-JSON bodies are rejected with
+                      400 and never stored (uploads are atomic)
+``GET  /v1/stats``    entry count plus request counters, as JSON
+``POST /v1/keys``     ``{"keys": [...]}`` -> ``{"present": {key: bool}}``
+                      (batched existence probe)
+====================  =====================================================
+
+The server persists through a :class:`~repro.core.store_backend.LocalDirBackend`
+(atomic writes, corruption-dropping reads), so killing it mid-request can
+never publish a torn entry.  :class:`RemoteStore` is the matching client
+backend: any timeout, refused connection, 5xx or truncated response marks
+the remote **dead for the rest of the process** after a single
+``RuntimeWarning`` -- every caller transparently degrades to its local
+tier, which is exactly the no-remote behavior.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+import warnings
+from http.client import HTTPException
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .store_backend import LocalDirBackend, StoreBackend
+
+__all__ = [
+    "DEFAULT_PORT",
+    "CacheRequestHandler",
+    "CacheServer",
+    "RemoteStore",
+]
+
+DEFAULT_PORT = 8750
+
+#: cache keys are SHA-256 hex digests; anything else is rejected up front
+#: (which also rules out path traversal before a key ever reaches a backend)
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+#: largest accepted PUT body; a simulation record is a few KiB
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class CacheRequestHandler(BaseHTTPRequestHandler):
+    """Routes the ``/v1`` protocol onto the server's storage backend."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-cache-service/1"
+    #: per-connection socket timeout: a client that stalls mid-upload must
+    #: not pin a server thread (and its fd) forever
+    timeout = 30
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def backend(self) -> StoreBackend:
+        return self.server.backend
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_body(self, code: int, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        self._send_body(code, json.dumps(payload).encode("utf-8"))
+
+    def _send_empty(self, code: int) -> None:
+        self.send_response(code)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _entry_key(self) -> Optional[str]:
+        prefix = "/v1/entry/"
+        if not self.path.startswith(prefix):
+            return None
+        key = self.path[len(prefix):]
+        return key if _KEY_RE.match(key) else None
+
+    def _read_body(self) -> Optional[bytes]:
+        """The full request body, or None when it is unusable (no/absurd
+        Content-Length, or fewer bytes on the wire than declared -- i.e. an
+        interrupted upload, which must never reach a backend)."""
+        length = self.headers.get("Content-Length")
+        try:
+            expected = int(length)
+        except (TypeError, ValueError):
+            return None
+        if not 0 <= expected <= _MAX_BODY_BYTES:
+            return None
+        body = self.rfile.read(expected)
+        if len(body) != expected:
+            return None
+        return body
+
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:
+        if self.path == "/v1/stats":
+            self._send_json(200, self.server.stats())
+            return
+        key = self._entry_key()
+        if key is None:
+            self.server.count("bad_requests")
+            self._send_json(400, {"error": f"bad route or key: {self.path}"})
+            return
+        self.server.count("gets")
+        record = self.backend.load(key)
+        if record is None:
+            self.server.count("misses")
+            self._send_json(404, {"error": "miss"})
+        else:
+            self.server.count("hits_served")
+            self._send_json(200, record)
+
+    def do_HEAD(self) -> None:
+        key = self._entry_key()
+        if key is None:
+            self.server.count("bad_requests")
+            self._send_empty(400)
+            return
+        self.server.count("heads")
+        self._send_empty(200 if self.backend.contains(key) else 404)
+
+    def _reject(self, message: str) -> None:
+        """400 for a request whose body may still sit unread on the socket.
+
+        Dropping the connection is mandatory: answering 400 on the
+        advertised HTTP/1.1 keep-alive connection without draining the
+        declared body would desync the stream and garble every subsequent
+        request from that client.
+        """
+        self.close_connection = True
+        self.server.count("bad_requests")
+        self._send_json(400, {"error": message})
+
+    def do_PUT(self) -> None:
+        key = self._entry_key()
+        if key is None:
+            self._reject(f"bad route or key: {self.path}")
+            return
+        body = self._read_body()
+        record = None
+        if body is not None:
+            try:
+                record = json.loads(body)
+            except ValueError:
+                record = None
+        if not isinstance(record, dict):
+            self._reject("body must be a complete JSON object")
+            return
+        if self.backend.store(key, record):
+            self.server.count("puts")
+            self._send_empty(204)
+        else:
+            self._send_json(500, {"error": "backend write failed"})
+
+    def do_POST(self) -> None:
+        if self.path != "/v1/keys":
+            self._reject(f"bad route: {self.path}")
+            return
+        body = self._read_body()
+        keys = None
+        if body is not None:
+            try:
+                keys = json.loads(body).get("keys")
+            except (ValueError, AttributeError):
+                keys = None
+        if not isinstance(keys, list):
+            self._reject('body must be {"keys": [...]}')
+            return
+        present = {
+            key: bool(_KEY_RE.match(key)) and self.backend.contains(key)
+            for key in keys
+            if isinstance(key, str)
+        }
+        self._send_json(200, {"present": present})
+
+
+class CacheServer(ThreadingHTTPServer):
+    """Threaded HTTP front end over a :class:`LocalDirBackend`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`url`).
+    Request counters are aggregated under a lock and served by
+    ``GET /v1/stats``.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        root: Optional[str | Path] = None,
+        backend: Optional[StoreBackend] = None,
+        verbose: bool = False,
+    ):
+        if backend is None:
+            if root is None:
+                raise ValueError("CacheServer needs a root directory or a backend")
+            backend = LocalDirBackend(root)
+        self.backend = backend
+        self.verbose = verbose
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "gets": 0,
+            "hits_served": 0,
+            "misses": 0,
+            "puts": 0,
+            "heads": 0,
+            "bad_requests": 0,
+        }
+        super().__init__(address, CacheRequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def count(self, name: str) -> None:
+        with self._counter_lock:
+            self._counters[name] += 1
+
+    def stats(self) -> dict:
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            "entries": len(self.backend),
+            "root": str(getattr(self.backend, "root", "")),
+            **counters,
+        }
+
+    def start_in_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, embedding)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-cache-service", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def handle_error(self, request, client_address) -> None:
+        # Clients that vanish mid-request (interrupted PUTs, closed progress
+        # streams) are an expected fault mode, not a server bug.
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)
+
+
+class RemoteStore(StoreBackend):
+    """HTTP client backend speaking the :class:`CacheServer` protocol.
+
+    Built for hostile networks: every request carries ``timeout``, and the
+    first connectivity failure (refused connection, timeout, 5xx, truncated
+    or non-JSON response) flips the store to ``dead`` with one
+    ``RuntimeWarning`` -- after that every operation is an instant no-op
+    and the caller's local tier serves alone.  A plain 404 is an ordinary
+    miss, not a failure.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 5.0):
+        if "://" not in base_url:
+            base_url = f"http://{base_url}"
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.dead = False
+        self._fail_lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _open(self, method: str, path: str, body: Optional[bytes] = None):
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method
+        )
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        return urllib.request.urlopen(request, timeout=self.timeout)
+
+    def _fail(self, error: Exception) -> None:
+        # Check-and-set under a lock: concurrent failing requests (threaded
+        # callers) must produce exactly one warning, not one each.
+        with self._fail_lock:
+            if self.dead:
+                return
+            self.dead = True
+        warnings.warn(
+            f"remote cache {self.base_url} unavailable "
+            f"({type(error).__name__}: {error}); "
+            "falling back to the local cache only",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def load(self, key: str) -> Optional[dict]:
+        if self.dead:
+            return None
+        try:
+            with self._open("GET", f"/v1/entry/{key}") as response:
+                record = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            if error.code == 404:
+                self.misses += 1
+                return None
+            self._fail(error)
+            return None
+        except (HTTPException, OSError, ValueError) as error:
+            self._fail(error)
+            return None
+        if not isinstance(record, dict):
+            # A 200 whose body is not a record means the URL points at some
+            # other JSON-speaking service; without this a misconfigured
+            # remote would silently cost a useless round trip per job.
+            self._fail(ValueError(f"entry response is not a JSON object: {record!r:.80}"))
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, key: str, record: dict) -> bool:
+        if self.dead:
+            return False
+        body = json.dumps(record).encode("utf-8")
+        try:
+            with self._open("PUT", f"/v1/entry/{key}", body=body) as response:
+                status = response.status
+        except (HTTPException, OSError, ValueError) as error:
+            self._fail(error)
+            return False
+        if status != 204:
+            # The cache service acknowledges an upload with exactly 204;
+            # any other 2xx is something else answering on this port.
+            self._fail(ValueError(f"unexpected PUT status {status}"))
+            return False
+        self.puts += 1
+        return True
+
+    def contains(self, key: str) -> bool:
+        if self.dead:
+            return False
+        try:
+            with self._open("HEAD", f"/v1/entry/{key}"):
+                return True
+        except urllib.error.HTTPError as error:
+            if error.code == 404:
+                return False
+            self._fail(error)
+            return False
+        except (HTTPException, OSError) as error:
+            self._fail(error)
+            return False
+
+    def contains_batch(self, keys: Iterable[str]) -> dict[str, bool]:
+        """Which of ``keys`` the service holds, in one round trip."""
+        keys = list(keys)
+        absent = {key: False for key in keys}
+        if self.dead or not keys:
+            return absent
+        body = json.dumps({"keys": keys}).encode("utf-8")
+        try:
+            with self._open("POST", "/v1/keys", body=body) as response:
+                present = json.loads(response.read().decode("utf-8"))["present"]
+        except (HTTPException, OSError, ValueError, KeyError, TypeError) as error:
+            self._fail(error)
+            return absent
+        return {key: bool(present.get(key)) for key in keys}
+
+    def __len__(self) -> int:
+        stats = self.stats()
+        if not stats:
+            return 0
+        try:
+            return int(stats.get("entries", 0))
+        except (TypeError, ValueError):
+            return 0
+
+    def clear(self) -> int:
+        # Deliberately local-only across the stack: one worker clearing its
+        # cache must never wipe the shared service.
+        return 0
+
+    def stats(self) -> Optional[dict]:
+        """The server's ``/v1/stats`` document, or None when unreachable.
+
+        A stats probe (``python -m repro cache``) failing does not flip the
+        store dead or warn -- reporting must stay side-effect free.
+        """
+        if self.dead:
+            return None
+        try:
+            with self._open("GET", "/v1/stats") as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except (HTTPException, OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None

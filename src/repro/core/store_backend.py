@@ -1,0 +1,246 @@
+"""Pluggable storage backends for the content-addressed result store.
+
+A backend moves opaque *records* -- JSON dicts carrying the cache-schema
+marker -- in and out of some medium, addressed by hex cache key.  The
+frontend (:class:`~repro.core.cache.ResultStore`) owns schema validation
+and hit/miss accounting; backends own durability, atomicity and their own
+failure modes:
+
+* :class:`LocalDirBackend` -- one JSON file per key under a directory,
+  sharded by key prefix, written atomically (the historical on-disk layout,
+  refactored out of ``ResultStore`` unchanged).
+* :class:`TieredBackend` -- local tier first, remote tier second:
+  read-through (remote hits populate the local tier) and write-back
+  (stores go to both).  Combined with the HTTP
+  :class:`~repro.core.cache_service.RemoteStore` it turns any number of
+  machines into one shared cache.
+
+Backends never raise on storage trouble: a failed write degrades to a
+no-op, a corrupt or unreachable read is a miss, so the simulation pipeline
+above is oblivious to cache health.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "LocalDirBackend",
+    "StoreBackend",
+    "TieredBackend",
+]
+
+#: bump when the record layout changes incompatibly
+CACHE_SCHEMA_VERSION = 1
+
+
+class StoreBackend(ABC):
+    """Raw record storage addressed by cache key.
+
+    ``load``/``store`` move full records (payload plus schema marker)
+    verbatim; record movement (``load``/``store``/``contains``) must be
+    safe to call from multiple threads, and every storage failure is a
+    miss / no-op, never an exception.  Per-instance bookkeeping attributes
+    (e.g. :attr:`TieredBackend.last_tier`) are best-effort and only
+    meaningful to a single-threaded reader such as the sweep engine's
+    lookup loop.
+    """
+
+    @abstractmethod
+    def load(self, key: str) -> Optional[dict]:
+        """The stored record for ``key``, or None on miss or corruption."""
+
+    @abstractmethod
+    def store(self, key: str, record: dict) -> bool:
+        """Persist ``record`` under ``key``; False if the write was lost."""
+
+    @abstractmethod
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` currently resolves to a record."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored records."""
+
+    @abstractmethod
+    def clear(self) -> int:
+        """Delete every record this backend owns; returns how many."""
+
+    def stats(self) -> Optional[dict]:
+        """Aggregate backend statistics (shape is backend-specific)."""
+        return {"entries": len(self)}
+
+
+class LocalDirBackend(StoreBackend):
+    """One JSON file per cache key under ``root``, sharded by key prefix.
+
+    Writes are atomic (unique temp file + ``os.replace``) so concurrent
+    writers -- threads of one process, or many processes sharing the
+    directory -- can never publish a torn entry: readers see either the old
+    record or the new one, and the last write wins.  Truncated or otherwise
+    unparseable entries are deleted on read and reported as misses.
+    """
+
+    _tmp_counter = 0
+    _tmp_lock = threading.Lock()
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    @classmethod
+    def _tmp_suffix(cls) -> str:
+        # pid alone is not unique enough: server threads and concurrent
+        # sweeps in one process would collide on the same temp file.
+        with cls._tmp_lock:
+            cls._tmp_counter += 1
+            serial = cls._tmp_counter
+        return f".tmp.{os.getpid()}.{threading.get_ident()}.{serial}"
+
+    def load(self, key: str) -> Optional[dict]:
+        path = self.path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            if path.exists():
+                # Corrupted (truncated write, bad encoding, ...): drop it so
+                # the recomputed result can take its place.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+
+    def store(self, key: str, record: dict) -> bool:
+        path = self.path(key)
+        tmp = path.parent / (path.name + self._tmp_suffix())
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, path)
+            return True
+        except OSError:
+            # A read-only or full cache directory degrades to a no-op cache.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+
+    def contains(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict:
+        return {"backend": "local", "root": str(self.root), "entries": len(self)}
+
+
+class TieredBackend(StoreBackend):
+    """Local tier first, remote tier second: read-through, write-back.
+
+    A local miss consults the remote tier; a remote hit is written into the
+    local tier so the next read is local.  Stores go to both tiers, so a
+    result computed on any worker becomes visible to the whole fleet.  The
+    remote tier is allowed to fail (the HTTP client degrades itself to a
+    dead no-op after the first connectivity problem); the local tier keeps
+    working regardless, and ``clear``/``__len__`` deliberately touch only
+    the local tier -- one worker must never wipe the shared service.
+    """
+
+    def __init__(self, local: StoreBackend, remote: StoreBackend):
+        self.local = local
+        self.remote = remote
+        #: tier that answered the most recent hit ("local" or "remote");
+        #: best-effort bookkeeping for single-threaded readers (the engine)
+        self.last_tier: Optional[str] = None
+        #: keys a batched probe reported absent remotely; consulted (and
+        #: consumed) by load() to skip a guaranteed-404 round trip
+        self._remote_absent: set[str] = set()
+        self._absent_lock = threading.Lock()
+
+    def prefetch(self, keys) -> None:
+        """Probe the remote tier for ``keys`` in one round trip.
+
+        Keys already local are not probed; keys the service reports absent
+        are remembered so the next ``load`` of each skips the remote GET
+        entirely -- on a cold sweep this collapses N miss round trips into
+        one ``POST /v1/keys``.  Remotes without a batched probe make this a
+        no-op.
+        """
+        probe = getattr(self.remote, "contains_batch", None)
+        if probe is None:
+            return
+        missing = [key for key in keys if not self.local.contains(key)]
+        if not missing:
+            return
+        present = probe(missing)
+        with self._absent_lock:
+            self._remote_absent.update(key for key in missing if not present.get(key))
+
+    def load(self, key: str) -> Optional[dict]:
+        record = self.local.load(key)
+        if record is not None:
+            self.last_tier = "local"
+            return record
+        with self._absent_lock:
+            skip_remote = key in self._remote_absent
+            # One skip per probe answer: the key may appear later (another
+            # worker publishing it), so the next load re-checks the wire.
+            self._remote_absent.discard(key)
+        if skip_remote:
+            self.last_tier = None
+            return None
+        record = self.remote.load(key)
+        if not isinstance(record, dict):
+            self.last_tier = None
+            return None
+        self.last_tier = "remote"
+        if record.get("schema") == CACHE_SCHEMA_VERSION:
+            # Read-through populate: next lookup of this key stays local.
+            self.local.store(key, record)
+        return record
+
+    def store(self, key: str, record: dict) -> bool:
+        stored_locally = self.local.store(key, record)
+        self.remote.store(key, record)
+        with self._absent_lock:
+            self._remote_absent.discard(key)
+        return stored_locally
+
+    def contains(self, key: str) -> bool:
+        return self.local.contains(key) or self.remote.contains(key)
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    def clear(self) -> int:
+        return self.local.clear()
+
+    def stats(self) -> dict:
+        return {"local": self.local.stats(), "remote": self.remote.stats()}

@@ -18,6 +18,10 @@ need: it prefetches the job set through the
 progress to an optional ``on_result`` callback), answers whole assembled
 results from the persistent :class:`~repro.core.cache.ResultStore` when the
 options and source fingerprint match, and caches fresh results there.
+Because the assembled-result cache sits on the same store as the job cache,
+a tiered store (``$REPRO_REMOTE_CACHE`` / ``--remote-cache``) shares both
+layers across machines: a second machine running the same experiment
+fetches the finished result without simulating a single job.
 ``python -m repro`` exposes the registry as a CLI.
 """
 
@@ -186,9 +190,18 @@ def build_runner(
     store: Optional[ResultStore] = None,
     config: Optional[MachineConfig] = None,
     default_scale: float = 0.5,
+    remote: Optional[str] = None,
 ) -> ExperimentRunner:
     """An :class:`ExperimentRunner` over a parallel engine -- the standard
-    stack the CLI, the benchmark session and the example scripts share."""
+    stack the CLI, the benchmark session and the example scripts share.
+
+    ``remote`` (a ``python -m repro serve`` URL) without an explicit
+    ``store`` builds the default tiered store: local cache directory first,
+    shared cache service second, so simulation jobs *and* assembled
+    experiment results are shared across machines.
+    """
+    if store is None and remote is not None:
+        store = ResultStore(ResultStore.default_dir(), remote=remote)
     engine = ParallelSweepEngine(
         jobs=default_job_count() if jobs is None else jobs, store=store
     )

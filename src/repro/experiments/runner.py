@@ -3,8 +3,11 @@
 The runner sits on top of the :class:`ParallelSweepEngine`: every MVE/RVV
 simulation becomes a :class:`KernelJob` keyed by the *full* machine
 configuration, the scheme, the kernel and its parameters, so results are
-memoized in-process (and, when a persistent store is attached, on disk)
+memoized in-process (and, when a persistent store is attached, on disk --
+or fleet-wide, when the store carries a remote cache-service tier)
 without any risk of two different configurations aliasing the same entry.
+The baseline models (Neon/GPU) cache through the same store, so they share
+the remote tier too.
 Experiments that know their job set up front call :meth:`ExperimentRunner.prefetch`
 so the engine can shard the batch across worker processes.
 """

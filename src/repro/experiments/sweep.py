@@ -7,7 +7,10 @@ each point an independent, deterministic simulation job.  The engine
 * deduplicates jobs and answers repeats from an in-process memo,
 * answers previously-simulated jobs from the persistent, content-addressed
   :class:`~repro.core.cache.ResultStore` (keyed by the full machine config
-  and a source-tree fingerprint, so results can never go stale), and
+  and a source-tree fingerprint, so results can never go stale) -- including
+  its remote tier when the store is pointed at a shared cache service
+  (``python -m repro serve``), so a job computed by any machine in the
+  fleet is a hit everywhere, and
 * shards the remaining jobs across a ``ProcessPoolExecutor`` -- simulation
   is pure Python + numpy, so process-level parallelism is the only way to
   use more than one core.
@@ -114,7 +117,8 @@ class JobOutcome:
 
     result: SimulationResult
     spills: int = 0
-    #: "computed", "memo" (in-process) or "disk" (persistent store)
+    #: "computed", "memo" (in-process), "disk" (local store tier) or
+    #: "remote" (answered by the shared cache service)
     source: str = "computed"
 
 
@@ -156,11 +160,12 @@ class ParallelSweepEngine:
         payload = self.store.load(job.cache_key())
         if payload is None:
             return None
+        source = "remote" if getattr(self.store, "last_tier", None) == "remote" else "disk"
         try:
             return JobOutcome(
                 result=SimulationResult.from_dict(payload["result"]),
                 spills=int(payload["spills"]),
-                source="disk",
+                source=source,
             )
         except (KeyError, TypeError, ValueError):
             return None
@@ -245,6 +250,14 @@ class ParallelSweepEngine:
             completed += 1
             if on_result is not None:
                 on_result(job, outcome, completed, total)
+
+        if self.store is not None:
+            unmemoized = [job for job in distinct if job not in self._memo]
+            if len(unmemoized) > 1:
+                # One batched existence probe against a remote cache tier
+                # instead of a guaranteed-404 GET per cold job (no-op for
+                # purely local stores, and not worth a round trip for one).
+                self.store.prefetch(job.cache_key() for job in unmemoized)
 
         pending: list[KernelJob] = []
         for job in distinct:

@@ -12,12 +12,27 @@ import os
 import pytest
 
 from repro.cli import main as cli_main, schema_outline
-from repro.experiments import ExperimentRunner
-from repro.experiments.figure7 import run_figure7
+from repro.experiments.registry import experiment_names
 from repro.experiments.tables import TablesResult
 from repro.sweep import main as legacy_main
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+@pytest.fixture(scope="session")
+def schema_cache_dir(tmp_path_factory):
+    """Persistent store shared by every schema-golden export.
+
+    Honouring $REPRO_SWEEP_CACHE_DIR means CI (and any dev box that sets
+    it) answers the fixed-shape experiments from the warm cache; otherwise
+    one session-scoped directory at least shares jobs across the 11
+    parametrized runs (figure11 reuses figure10's spec, figure12 is the
+    union of its sub-experiments, ...).
+    """
+    env = os.environ.get("REPRO_SWEEP_CACHE_DIR")
+    if env:
+        return env
+    return str(tmp_path_factory.mktemp("schema-cache"))
 
 
 class TestList:
@@ -125,15 +140,35 @@ class TestCacheCommand:
 
 
 class TestExportSchemaGolden:
-    def test_figure7_export_schema_matches_golden(self):
-        """The CI smoke step exports full-scale figure7 and compares the same
-        outline; this pins it at reduced scale (the outline is scale-free)."""
-        result = run_figure7(
-            ExperimentRunner(default_scale=0.1), scale=0.1, libraries=["zlib", "Skia"]
-        )
-        with open(os.path.join(GOLDEN_DIR, "figure7_export_schema.json")) as handle:
+    """Every registered experiment's export schema is pinned by a golden.
+
+    The outline is value- and scale-free (lists collapse to their first
+    element's shape), so the reduced-scale runs here pin the same outline
+    the CI full-scale figure7 smoke step compares.  Regenerate after an
+    intentional result-shape change with::
+
+        PYTHONPATH=src python tests/test_cli.py --update-schemas
+    """
+
+    def test_every_experiment_has_a_golden(self):
+        goldens = {
+            name[: -len("_export_schema.json")]
+            for name in os.listdir(GOLDEN_DIR)
+            if name.endswith("_export_schema.json")
+        }
+        assert goldens == set(experiment_names())
+
+    @pytest.mark.parametrize("name", experiment_names())
+    def test_export_schema_matches_golden(self, name, tmp_path, schema_cache_dir):
+        out_path = tmp_path / f"{name}.json"
+        argv = ["--cache-dir", schema_cache_dir, "run", name, "--scale", "0.1",
+                "--export", "json", "--out", str(out_path), "--no-progress"]
+        assert cli_main(argv) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == name
+        with open(os.path.join(GOLDEN_DIR, f"{name}_export_schema.json")) as handle:
             golden = json.load(handle)
-        assert schema_outline(result.to_dict()) == golden
+        assert schema_outline(payload["result"]) == golden
 
 
 class TestDeprecatedSweepShim:
@@ -165,3 +200,39 @@ class TestDeprecatedSweepShim:
             assert named_sweep(name).name == name
         with pytest.raises(KeyError, match="not a single raw sweep"):
             named_sweep("figure11")
+
+
+# ---------------------------------------------------------------------- #
+#  Golden regeneration: PYTHONPATH=src python tests/test_cli.py --update-schemas
+# ---------------------------------------------------------------------- #
+
+
+def _update_schema_goldens() -> None:
+    import tempfile
+
+    # Hermetic like the pytest run (see conftest.py): regeneration must not
+    # publish reduced-scale results to a real cache service or pollute the
+    # developer's default cache directory.
+    os.environ.pop("REPRO_REMOTE_CACHE", None)
+    cache_dir = tempfile.mkdtemp(prefix="repro-schema-cache-")
+    for name in experiment_names():
+        out_path = os.path.join(tempfile.mkdtemp(), f"{name}.json")
+        argv = ["--cache-dir", cache_dir, "run", name, "--scale", "0.1",
+                "--export", "json", "--out", out_path, "--no-progress"]
+        assert cli_main(argv) == 0
+        with open(out_path) as handle:
+            payload = json.load(handle)
+        golden_path = os.path.join(GOLDEN_DIR, f"{name}_export_schema.json")
+        with open(golden_path, "w") as handle:
+            json.dump(schema_outline(payload["result"]), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"updated {golden_path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--update-schemas" in sys.argv:
+        _update_schema_goldens()
+    else:
+        raise SystemExit("usage: PYTHONPATH=src python tests/test_cli.py --update-schemas")
