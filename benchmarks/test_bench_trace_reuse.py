@@ -1,0 +1,90 @@
+"""Perf smoke check for the staged trace pipeline.
+
+The staged engine exists so a multi-config sweep runs the functional
+machine once per distinct trace and replays the capture per configuration
+(sharing the compiled kernel when the register-file geometry matches).
+This check fails if staging ever regresses to the seed's fused
+capture-per-job behaviour.  The comparison is relative (same machine, same
+process), so it is robust to slow CI hosts; the absolute numbers recorded
+from a quiet host live in ``BENCH_trace_reuse.json``.
+"""
+
+import time
+
+from repro.core.simulator import simulate_kernel
+from repro.experiments.sweep import ParallelSweepEngine, SweepSpec
+from repro.sram.schemes import SCHEME_NAMES, get_scheme
+from repro.workloads import get_kernel_class
+
+#: capture-heavy kernels swept over every compute scheme: 12 timing runs
+#: but only 3 distinct traces
+SPEC = SweepSpec(
+    name="trace-reuse",
+    kernels=[
+        ("gemm", {"scale": 0.5}),
+        ("satd", {"scale": 0.25}),
+        ("memcpy", {"scale": 0.5}),
+    ],
+    schemes=SCHEME_NAMES,
+)
+
+
+def _fused_seed_path(jobs) -> None:
+    """The seed engine's semantics: every job re-runs the functional machine
+    (values recorded) and recompiles before simulating."""
+    for job in jobs:
+        kernel = get_kernel_class(job.kernel)(scale=job.scale, **dict(job.kwargs))
+        trace = kernel.trace_mve(simd_lanes=job.config.simd_lanes)
+        simulate_kernel(trace, config=job.config, scheme=get_scheme(job.scheme_name))
+
+
+def test_staged_sweep_beats_fused_per_job():
+    jobs = SPEC.jobs()
+    # Warm numpy/import allocation paths so neither side pays first-run cost.
+    _fused_seed_path(jobs[:1])
+
+    start = time.perf_counter()
+    _fused_seed_path(jobs)
+    fused_s = time.perf_counter() - start
+
+    engine = ParallelSweepEngine(jobs=1, store=None)
+    start = time.perf_counter()
+    outcomes = engine.run_jobs(jobs)
+    staged_s = time.perf_counter() - start
+
+    assert len(outcomes) == len(jobs)
+    assert engine.traces_captured == len({job.trace_spec() for job in jobs})
+    print(
+        f"\nfused per-job {fused_s:.2f}s vs staged {staged_s:.2f}s "
+        f"({fused_s / max(staged_s, 1e-9):.2f}x, "
+        f"{engine.traces_captured} captures for {len(jobs)} jobs)"
+    )
+    # Expected ~1.5x on this job set; 1.2x leaves headroom for noisy CI
+    # hosts while still catching a regression to capture-per-job behaviour.
+    assert staged_s * 1.2 < fused_s, (
+        f"staged sweep too slow: {staged_s:.2f}s vs fused {fused_s:.2f}s"
+    )
+
+
+def test_warm_trace_store_skips_every_capture(tmp_path):
+    """With traces already in the store (e.g. after a timing-model edit
+    rolled the result keys but not the functional fingerprint), a sweep
+    replays without a single functional-machine run."""
+    from repro.core.cache import ResultStore
+
+    jobs = SPEC.jobs()
+    store = ResultStore(tmp_path)
+    ParallelSweepEngine(jobs=1, store=store).run_jobs(jobs)
+
+    # Drop the results, keep the trace artifacts.
+    trace_keys = {job.trace_spec().cache_key() for job in jobs}
+    for path in tmp_path.glob("*/*.json"):
+        if path.stem not in trace_keys:
+            path.unlink()
+
+    replay = ParallelSweepEngine(jobs=1, store=ResultStore(tmp_path))
+    outcomes = replay.run_jobs(jobs)
+    assert len(outcomes) == len(jobs)
+    assert replay.computed == len(jobs)  # results really were cold
+    assert replay.traces_captured == 0
+    assert replay.trace_store_hits == len(trace_keys)

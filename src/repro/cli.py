@@ -1,4 +1,4 @@
-"""Unified experiment CLI: ``python -m repro {list,run,cache,serve}``.
+"""Unified experiment CLI: ``python -m repro {list,run,trace,cache,serve}``.
 
 Every table/figure of the paper is a registered experiment; ``run`` executes
 one end to end (sharded over worker processes, answered from the persistent
@@ -15,6 +15,14 @@ set without result assembly) or ad-hoc axes::
     python -m repro run --sweep figure7 --jobs 4
     python -m repro run --kernels gemm,csum --schemes bit-serial,bit-parallel \
         --kinds mve,rvv --scale 0.25 --jobs 8
+
+``trace`` runs only the pipeline's capture stage: it records (or recalls
+from the trace cache) a kernel's MVE/RVV instruction trace and reports its
+dynamic instruction mix, without ever touching the timing simulator::
+
+    python -m repro trace list
+    python -m repro trace capture gemm --kind mve --scale 0.5
+    python -m repro trace stats gemm
 
 Per-job progress streams to stderr as results complete (``--no-progress``
 disables it).  ``cache`` shows or clears the persistent store (location:
@@ -317,6 +325,110 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``trace {list,capture,stats}``: the capture stage without the timing
+    simulator.
+
+    Captures go through the same :class:`TraceStore` namespace the sweep
+    engine uses, so a ``trace capture`` warms the cache for later sweeps and
+    a sweep's capture makes ``trace stats`` instant.
+    """
+    from .core.config import default_config
+    from .core.traces import TraceArtifact, TraceSpec, TraceStore
+    from .isa.trace_io import trace_payload_bytes
+    from .workloads import get_kernel_class
+    from .workloads.base import Kernel
+
+    store = None if args.no_cache else _store_for(args)
+    trace_store = TraceStore(store)
+    lanes = args.lanes if args.lanes else default_config().simd_lanes
+
+    if args.action == "list":
+        rows = []
+        for name in kernel_names():
+            cls = get_kernel_class(name)
+            supports_rvv = cls.run_rvv is not Kernel.run_rvv
+            spec = TraceSpec(
+                kernel=name, kind=args.kind, scale=args.scale, simd_lanes=lanes
+            )
+            cached = (
+                args.kind == "mve" or supports_rvv
+            ) and trace_store.contains_locally(spec)
+            rows.append(
+                [
+                    name,
+                    cls.library,
+                    cls.dims,
+                    cls.dtype.name,
+                    "yes" if supports_rvv else "",
+                    "yes" if cached else "",
+                ]
+            )
+        print(f"Kernel traces (scale={args.scale}, {lanes} lanes, kind={args.kind}):")
+        print(format_table(["kernel", "library", "dims", "dtype", "rvv", "cached"], rows))
+        if store is not None:
+            print(f"\nTrace cache: {store.root} (shared with simulation results)")
+        return 0
+
+    if not args.kernel:
+        raise SystemExit(f"trace {args.action}: pass a kernel name (see `trace list`)")
+    if args.kernel not in kernel_names():
+        raise SystemExit(f"trace: unknown kernel {args.kernel!r}")
+    spec = TraceSpec(
+        kernel=args.kernel, kind=args.kind, scale=args.scale, simd_lanes=lanes
+    )
+    # Work on the payload directly so the columnar encode happens exactly
+    # once per capture (and never on a cache hit).
+    payload = trace_store.load_payload(spec)
+    artifact = None
+    source = "cache"
+    if payload is not None:
+        try:
+            artifact = TraceArtifact.from_payload(spec, payload)
+        except (KeyError, TypeError, ValueError):
+            artifact = None  # corrupt entry: recapture below
+    if artifact is None:
+        start = time.perf_counter()
+        try:
+            artifact = spec.capture()
+        except NotImplementedError:
+            raise SystemExit(
+                f"trace: {args.kernel} has no {args.kind} lowering"
+            ) from None
+        elapsed_s = time.perf_counter() - start
+        payload = artifact.to_payload()
+        trace_store.save_payload(spec, payload)
+        source = f"captured in {elapsed_s:.2f}s"
+
+    print(f"{spec.describe()}: {len(artifact)} trace entries [{source}]")
+    print(f"key: {spec.cache_key()}")
+    if args.action == "capture":
+        print(f"payload: {trace_payload_bytes(payload['trace'])} bytes (columnar npz)")
+        return 0
+
+    stats = artifact.stats()
+    mix = stats.as_dict()
+    print("\nDynamic instruction mix:")
+    print(
+        format_table(
+            ["category", "count", "share"],
+            [
+                [category, mix[category], f"{mix[category] / max(1, stats.vector_total):.1%}"]
+                for category in ("config", "move", "memory", "arithmetic")
+            ],
+        )
+    )
+    print(f"vector total: {stats.vector_total}")
+    print(
+        f"scalar: {stats.scalar} "
+        f"({stats.scalar_loads} loads, {stats.scalar_stores} stores)"
+    )
+    print("\nPer-opcode counts:")
+    ranked = sorted(stats.opcodes.items(), key=lambda item: (-item[1], item[0]))
+    print(format_table(["opcode", "count"], [[op, count] for op, count in ranked]))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .core.cache_service import CacheServer
 
@@ -530,6 +642,24 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
     cache.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     cache.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
+    trace = sub.add_parser(
+        "trace",
+        help="capture and inspect kernel traces without running the timing simulator",
+    )
+    trace.add_argument("action", choices=("list", "capture", "stats"))
+    trace.add_argument("kernel", nargs="?", default=None, help="kernel name (see `trace list`)")
+    trace.add_argument("--kind", choices=("mve", "rvv"), default="mve", help="lowering to capture")
+    trace.add_argument("--scale", type=float, default=0.5, help="dataset scale (default 0.5)")
+    trace.add_argument(
+        "--lanes", type=int, default=None,
+        help="SIMD lane count (default: the base configuration's engine width)",
+    )
+    trace.add_argument(
+        "--no-cache", action="store_true", help="capture fresh, bypassing the trace cache"
+    )
+    trace.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    trace.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
     serve = sub.add_parser(
         "serve", help="serve the result cache over HTTP for multi-machine sweeps"
     )
@@ -548,6 +678,8 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
         return _cmd_list(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "clear-cache":

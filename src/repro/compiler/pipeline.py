@@ -4,10 +4,18 @@
 the experiments: it takes the raw trace recorded by the functional machine
 and produces the trace that actually reaches the MVE controller, with the
 kernel-width config instruction and any spill traffic inserted.
+
+``compile_trace_cached`` adds a small identity-keyed memo on top: the staged
+sweep pipeline captures one trace and replays it under many machine
+configurations, and every configuration that keeps the register-file
+geometry (array count and shape) recompiles to the *same* compiled kernel.
+Configs that only vary cache, DRAM, TMU or scheme parameters therefore skip
+scheduling and register allocation entirely.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -17,7 +25,7 @@ from .liveness import LivenessInfo, analyze_liveness
 from .regalloc import AllocationResult, allocate_registers
 from .scheduler import schedule_trace
 
-__all__ = ["CompiledKernel", "compile_trace"]
+__all__ = ["CompiledKernel", "compile_trace", "compile_trace_cached"]
 
 
 @dataclass
@@ -51,3 +59,59 @@ def compile_trace(
     liveness = analyze_liveness(scheduled)
     allocation = allocate_registers(scheduled, register_file=register_file, liveness=liveness)
     return CompiledKernel(trace=allocation.trace, liveness=liveness, allocation=allocation)
+
+
+class _CompileMemo:
+    """Bounded LRU memo keyed by trace identity and register-file geometry.
+
+    Keying by ``id(trace)`` is what makes the memo cheap (no hashing of
+    thousands of instructions), so each entry pins the trace object it was
+    keyed by and re-checks identity on hit -- a recycled ``id`` after
+    garbage collection can never alias a different trace.  Neither the
+    compiler nor the simulator mutates compiled traces, so one
+    :class:`CompiledKernel` is safe to share across any number of runs.
+    """
+
+    def __init__(self, capacity: int = 16):
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, trace, key: tuple) -> Optional[CompiledKernel]:
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is trace:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def put(self, trace, key: tuple, compiled: CompiledKernel) -> None:
+        self._entries[key] = (trace, compiled)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+_compile_memo = _CompileMemo()
+
+
+def compile_trace_cached(
+    trace: Sequence[TraceEntry],
+    register_file: Optional[PhysicalRegisterFile] = None,
+    use_scheduler: bool = True,
+) -> CompiledKernel:
+    """:func:`compile_trace`, memoized per (trace object, geometry).
+
+    The staged pipeline calls this with one shared trace list per capture;
+    replays under configurations that differ only in timing parameters hit
+    the memo and reuse the scheduled, register-allocated kernel.
+    """
+    register_file = register_file or PhysicalRegisterFile()
+    key = (id(trace), register_file, use_scheduler)
+    compiled = _compile_memo.get(trace, key)
+    if compiled is None:
+        compiled = compile_trace(trace, register_file=register_file, use_scheduler=use_scheduler)
+        _compile_memo.put(trace, key, compiled)
+    return compiled

@@ -43,6 +43,7 @@ __all__ = [
     "ResultStore",
     "code_fingerprint",
     "config_digest",
+    "functional_fingerprint",
     "load_cached_result",
     "stable_hash",
     "store_cached_result",
@@ -71,6 +72,51 @@ def code_fingerprint() -> str:
             digest.update(path.read_bytes())
         _code_fingerprint = digest.hexdigest()
     return _code_fingerprint
+
+
+#: package subtrees (relative to ``src/repro``) whose source determines what
+#: a captured instruction trace looks like.  Deliberately narrower than
+#: :func:`code_fingerprint`: editing the timing simulator, compiler or cache
+#: models must not invalidate captured traces, only simulation results.
+_FUNCTIONAL_LAYER = (
+    "isa",
+    "intrinsics",
+    "workloads",
+    "memory/flatmem.py",
+    "core/traces.py",
+)
+
+_functional_fingerprint: Optional[str] = None
+
+
+def functional_fingerprint() -> str:
+    """Hash of the functional-layer sources, used to key trace artifacts.
+
+    Covers the ISA definitions, the intrinsic machine, the kernels and the
+    flat memory model -- everything that can change the instruction stream a
+    kernel emits.  Timing-model edits leave it untouched, so a warm trace
+    cache survives simulator work.
+    """
+    global _functional_fingerprint
+    if _functional_fingerprint is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for subpath in _FUNCTIONAL_LAYER:
+            path = package_root / subpath
+            if not path.exists():
+                # A renamed/moved functional-layer file must fail loudly:
+                # silently hashing nothing would freeze the trace keys while
+                # the captured instruction stream keeps changing.
+                raise FileNotFoundError(
+                    f"functional-fingerprint entry {subpath!r} is missing under "
+                    f"{package_root}; update _FUNCTIONAL_LAYER in {__name__}"
+                )
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for file in files:
+                digest.update(str(file.relative_to(package_root)).encode())
+                digest.update(file.read_bytes())
+        _functional_fingerprint = digest.hexdigest()
+    return _functional_fingerprint
 
 
 def config_digest(config: MachineConfig) -> dict:

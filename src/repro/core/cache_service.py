@@ -20,16 +20,22 @@ The server persists through a :class:`~repro.core.store_backend.LocalDirBackend`
 (atomic writes, corruption-dropping reads), so killing it mid-request can
 never publish a torn entry.  :class:`RemoteStore` is the matching client
 backend: any timeout, refused connection, 5xx or truncated response marks
-the remote **dead for the rest of the process** after a single
-``RuntimeWarning`` -- every caller transparently degrades to its local
-tier, which is exactly the no-remote behavior.
+the remote **dead** after a single ``RuntimeWarning`` -- every caller
+transparently degrades to its local tier, which is exactly the no-remote
+behavior.  Going dead also starts a background re-probe thread that pings
+``/v1/stats`` every :data:`DEFAULT_REPROBE_INTERVAL_S` seconds (tunable via
+``$REPRO_REMOTE_REPROBE_S``; ``0`` disables it); if the service recovers
+mid-run the store flips live again and the worker rejoins the fleet cache
+without a restart.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
 import threading
+import time
 import urllib.error
 import urllib.request
 import warnings
@@ -48,6 +54,10 @@ __all__ = [
 ]
 
 DEFAULT_PORT = 8750
+
+#: seconds between background liveness probes after a remote goes dead
+DEFAULT_REPROBE_INTERVAL_S = 15.0
+_ENV_REPROBE = "REPRO_REMOTE_REPROBE_S"
 
 #: cache keys are SHA-256 hex digests; anything else is rejected up front
 #: (which also rules out path traversal before a key ever reaches a backend)
@@ -280,15 +290,44 @@ class RemoteStore(StoreBackend):
     ``RuntimeWarning`` -- after that every operation is an instant no-op
     and the caller's local tier serves alone.  A plain 404 is an ordinary
     miss, not a failure.
+
+    Dead is not forever: a background daemon thread re-probes
+    ``GET /v1/stats`` every ``reprobe_interval`` seconds (default
+    :data:`DEFAULT_REPROBE_INTERVAL_S`, overridable with
+    ``$REPRO_REMOTE_REPROBE_S``; ``<= 0`` disables re-probing) and flips
+    the store live again when the service answers, so a worker mid-sweep
+    rejoins a recovered cache service automatically.  A later failure goes
+    through the same one-warning death again.
     """
 
-    def __init__(self, base_url: str, timeout: float = 5.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 5.0,
+        reprobe_interval: Optional[float] = None,
+    ):
         if "://" not in base_url:
             base_url = f"http://{base_url}"
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.dead = False
+        if reprobe_interval is None:
+            reprobe_interval = DEFAULT_REPROBE_INTERVAL_S
+            env = os.environ.get(_ENV_REPROBE)
+            if env:
+                try:
+                    reprobe_interval = float(env)
+                except ValueError:
+                    warnings.warn(
+                        f"ignoring {_ENV_REPROBE}={env!r}: not a number",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        self.reprobe_interval = reprobe_interval
         self._fail_lock = threading.Lock()
+        self._reprobe_thread: Optional[threading.Thread] = None
+        #: times this store went dead and later rejoined a recovered service
+        self.rejoins = 0
         self.hits = 0
         self.misses = 0
         self.puts = 0
@@ -317,6 +356,67 @@ class RemoteStore(StoreBackend):
             RuntimeWarning,
             stacklevel=4,
         )
+        self._start_reprobe()
+
+    # -- background recovery probe ------------------------------------- #
+
+    def _start_reprobe(self) -> None:
+        if self.reprobe_interval <= 0:
+            return
+        with self._fail_lock:
+            if self._reprobe_thread is not None and self._reprobe_thread.is_alive():
+                # Still probing (it re-checks `dead` under this same lock
+                # before retiring, so it cannot miss the death that brought
+                # us here).  The is_alive() guard also covers a thread that
+                # died abnormally: the slot is then stale and respawned.
+                return
+            thread = threading.Thread(
+                target=self._reprobe_loop, name="repro-cache-reprobe", daemon=True
+            )
+            self._reprobe_thread = thread
+        thread.start()
+
+    def _probe_alive(self) -> bool:
+        """One liveness check against ``/v1/stats``, ignoring ``dead``."""
+        try:
+            with self._open("GET", "/v1/stats") as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except (HTTPException, OSError, ValueError):
+            return False
+        return isinstance(payload, dict) and "entries" in payload
+
+    def _reprobe_loop(self) -> None:
+        """Ping the service while dead; flip the store live on recovery.
+
+        The thread retires once the store is live again -- but only via an
+        exit check that re-reads ``dead`` and clears the thread slot under
+        ``_fail_lock``.  A failure that lands concurrently with a rejoin
+        therefore either (a) sets ``dead`` before the exit check, which
+        keeps this thread probing, or (b) finds the slot already cleared
+        and spawns a fresh thread: the store can never end up dead with
+        nobody probing.  The rejoin itself is silent wire-wise: flipping
+        ``dead`` back is enough, because every caller re-checks the flag
+        per operation.
+        """
+        while True:
+            time.sleep(self.reprobe_interval)
+            with self._fail_lock:
+                if not self.dead:
+                    # Live (we rejoined on a previous lap, or something
+                    # external revived the store): retire this thread.
+                    self._reprobe_thread = None
+                    return
+            if self._probe_alive():
+                with self._fail_lock:
+                    self.dead = False
+                    self.rejoins += 1
+                warnings.warn(
+                    f"remote cache {self.base_url} is reachable again; rejoining",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                # Loop once more: the exit check above decides -- under the
+                # lock -- whether to retire or keep probing a re-death.
 
     # ------------------------------------------------------------------ #
 

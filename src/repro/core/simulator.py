@@ -24,7 +24,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..compiler.pipeline import CompiledKernel, compile_trace
+from ..compiler.pipeline import CompiledKernel, compile_trace, compile_trace_cached
 from ..isa.instructions import (
     InstructionCategory,
     MemoryInstruction,
@@ -43,7 +43,7 @@ from .energy import EnergyCoefficients, EnergyModel
 from .results import SimulationResult
 from .scalar_core import ScalarCoreModel
 
-__all__ = ["MVESimulator", "simulate_kernel"]
+__all__ = ["MVESimulator", "simulate_kernel", "simulate_trace"]
 
 
 class MVESimulator:
@@ -269,4 +269,35 @@ def simulate_kernel(
         result = simulator.run(trace, reset_state=False)
     else:
         result = simulator.run(trace)
+    return result, compiled
+
+
+def simulate_trace(
+    trace: Sequence[TraceEntry],
+    config: Optional[MachineConfig] = None,
+    scheme: Optional[ComputeScheme] = None,
+    warm_cache: bool = True,
+) -> tuple[SimulationResult, CompiledKernel]:
+    """Replay a shared, already-captured trace under one configuration.
+
+    The staged pipeline's second phase: the trace comes from the capture
+    stage (or the trace cache) and may be replayed many times, so the
+    compile step goes through :func:`compile_trace_cached` -- configurations
+    that keep the register-file geometry reuse the scheduled,
+    register-allocated kernel and only re-run the timing model.  Identical
+    to :func:`simulate_kernel` with ``compile_first=True`` result-wise.
+    """
+    config = config or default_config()
+    register_file = PhysicalRegisterFile(
+        num_arrays=config.engine.num_arrays,
+        array_rows=config.engine.array.rows,
+        array_cols=config.engine.array.cols,
+    )
+    compiled = compile_trace_cached(trace, register_file=register_file)
+    simulator = MVESimulator(config=config, scheme=scheme)
+    if warm_cache:
+        simulator.run(compiled.trace)
+        result = simulator.run(compiled.trace, reset_state=False)
+    else:
+        result = simulator.run(compiled.trace)
     return result, compiled

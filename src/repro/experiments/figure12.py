@@ -156,8 +156,10 @@ def run_figure12a(
     for name in kernels:
         params = _KERNEL_PARAMS.get(name, {"scale": 0.5})
         mve = runner.run_mve(name, **params)
-        kernel = mve.kernel
-        trace = kernel.trace_mve(simd_lanes=runner.config.simd_lanes)
+        # The SIMT transform consumes the same capture-stage artifact the
+        # timing run replayed (engine trace memo / store), instead of
+        # re-running the functional machine through kernel.trace_mve.
+        trace = runner.captured_trace(runner.job(name, "mve", **params))
         compiled = compile_trace(trace)
         dc_result = DualityCacheModel(config=runner.config).run(compiled.trace)
         rows.append(

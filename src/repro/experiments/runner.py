@@ -135,6 +135,17 @@ class ExperimentRunner:
             spills=outcome.spills,
         )
 
+    def captured_trace(self, job: KernelJob):
+        """The capture-stage trace for ``job``, via the engine's trace cache.
+
+        Experiments that consume raw instruction streams (the Duality Cache
+        transform of figure12a) must use this instead of calling
+        ``kernel.trace_mve`` directly: the capture is answered from the
+        engine's trace memo / the persistent trace store (including the
+        shared remote tier) and is counted like any other capture.
+        """
+        return self.engine.captured_trace(job.trace_spec())
+
     def prefetch(self, jobs: Iterable[KernelJob]) -> None:
         """Execute a batch of jobs up front (in parallel when engine.jobs > 1).
 

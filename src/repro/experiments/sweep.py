@@ -1,19 +1,34 @@
-"""Declarative kernel sweeps with parallel execution and persistent caching.
+"""Declarative kernel sweeps with staged execution and persistent caching.
 
 This is the execution engine underneath every experiment module: a sweep is
 the Cartesian product of kernels x lowerings x schemes x machine configs,
-each point an independent, deterministic simulation job.  The engine
+each point an independent, deterministic simulation job.  Execution is
+staged, mirroring the paper's capture-once/replay-many methodology:
+
+* **Capture** -- jobs are grouped by :class:`~repro.core.traces.TraceSpec`
+  (kernel, lowering, scale, kwargs, SIMD lanes); each distinct trace is
+  captured exactly once per batch -- or loaded from the
+  :class:`~repro.core.traces.TraceStore` namespace of the persistent cache,
+  where captures are shared fleet-wide like any other result -- and fanned
+  out to every machine configuration in the group.
+* **Replay** -- each job replays the shared trace through the timing model;
+  configurations with the same register-file geometry also share the
+  compiled (scheduled + register-allocated) kernel via
+  :func:`~repro.compiler.pipeline.compile_trace_cached`.
+
+The engine also
 
 * deduplicates jobs and answers repeats from an in-process memo,
 * answers previously-simulated jobs from the persistent, content-addressed
   :class:`~repro.core.cache.ResultStore` (keyed by the full machine config
   and a source-tree fingerprint, so results can never go stale) -- including
   its remote tier when the store is pointed at a shared cache service
-  (``python -m repro serve``), so a job computed by any machine in the
-  fleet is a hit everywhere, and
-* shards the remaining jobs across a ``ProcessPoolExecutor`` -- simulation
+  (``python -m repro serve``), and
+* shards the remaining work across a ``ProcessPoolExecutor`` -- simulation
   is pure Python + numpy, so process-level parallelism is the only way to
-  use more than one core.
+  use more than one core.  Capture work is pinned to one worker per trace
+  group (keeping every capture single-shot even under a pool); replays of
+  already-resolved traces are split per job for full parallelism.
 
 ``python -m repro`` exposes the same engine as a batch CLI (with
 ``python -m repro.sweep`` kept as a deprecated alias); the
@@ -28,6 +43,7 @@ from __future__ import annotations
 
 import os
 import warnings
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -36,9 +52,11 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 from ..core.cache import ResultStore, code_fingerprint, config_digest, stable_hash
 from ..core.config import MachineConfig, default_config
 from ..core.results import SimulationResult
-from ..core.simulator import simulate_kernel
+from ..core.simulator import simulate_trace
+from ..core.traces import TraceArtifact, TraceSpec, TraceStore
+from ..isa.instructions import TraceEntry
+from ..isa.trace_io import decode_trace
 from ..sram.schemes import get_scheme
-from ..workloads import get_kernel_class
 
 __all__ = [
     "KernelJob",
@@ -48,6 +66,8 @@ __all__ = [
     "SweepResult",
     "ParallelSweepEngine",
     "execute_job",
+    "execute_trace_group",
+    "simulate_traced_job",
     "default_job_count",
 ]
 
@@ -110,6 +130,21 @@ class KernelJob:
         suffix = f", {params}" if params else ""
         return f"{self.kernel}/{self.kind} (scale={self.scale}{suffix}, {self.scheme_name})"
 
+    def trace_spec(self) -> TraceSpec:
+        """Identity of the capture-stage artifact this job replays.
+
+        Only the SIMD lane count survives from the machine configuration:
+        every other config field is a replay-time (timing) parameter, so
+        jobs that differ only in those share one captured trace.
+        """
+        return TraceSpec(
+            kernel=self.kernel,
+            kind=self.kind,
+            scale=self.scale,
+            kwargs=self.kwargs,
+            simd_lanes=self.config.simd_lanes,
+        )
+
 
 @dataclass
 class JobOutcome:
@@ -122,20 +157,70 @@ class JobOutcome:
     source: str = "computed"
 
 
-def execute_job(job: KernelJob) -> JobOutcome:
-    """Build the kernel, trace the requested lowering and simulate it.
+def simulate_traced_job(job: KernelJob, trace: Sequence[TraceEntry]) -> JobOutcome:
+    """Replay an already-captured trace under one job's configuration."""
+    result, compiled = simulate_trace(
+        trace, config=job.config, scheme=get_scheme(job.scheme_name)
+    )
+    return JobOutcome(result=result, spills=compiled.spill_count)
+
+
+def _resolve_group_trace(
+    spec: TraceSpec,
+    payload: Optional[dict],
+    trace: Optional[list[TraceEntry]],
+) -> tuple[list[TraceEntry], Optional["TraceArtifact"]]:
+    """One group's trace from whatever source is at hand.
+
+    Preference order: an already-decoded ``trace``, then a stored
+    ``payload`` (a corrupt one degrades to recapture rather than failing
+    the group), then a fresh capture.  Returns the trace plus the
+    freshly-captured artifact when capture ran (None on reuse) so the
+    caller can persist and count it -- encoding is the caller's decision,
+    so storeless paths never pay for a payload they would discard.
+    Single source of truth for the decode-else-capture contract shared by
+    the serial and pool paths.
+    """
+    if trace is not None:
+        return trace, None
+    if payload is not None:
+        try:
+            return decode_trace(payload["trace"]), None
+        except (KeyError, TypeError, ValueError):
+            pass
+    artifact = spec.capture()
+    return artifact.trace, artifact
+
+
+def execute_trace_group(
+    jobs: Sequence[KernelJob],
+    payload: Optional[dict] = None,
+    trace: Optional[list[TraceEntry]] = None,
+) -> tuple[list[JobOutcome], Optional[dict]]:
+    """Capture (or decode) one shared trace, then replay it for every job.
+
+    All jobs must share one :meth:`KernelJob.trace_spec`.  ``payload`` is a
+    stored trace record body (decoded here, in the worker, so the parent
+    never pays for traces it only forwards); ``trace`` short-circuits with
+    an already-decoded entry list.  Returns the outcomes in job order plus
+    the freshly-captured payload when capture ran (None on reuse), so the
+    parent can persist it.
 
     Module-level so worker processes can import it by qualified name.
     """
-    kernel = get_kernel_class(job.kernel)(scale=job.scale, **dict(job.kwargs))
-    if job.kind == "rvv":
-        trace = kernel.trace_rvv(simd_lanes=job.config.simd_lanes)
-    else:
-        trace = kernel.trace_mve(simd_lanes=job.config.simd_lanes)
-    result, compiled = simulate_kernel(
-        trace, config=job.config, scheme=get_scheme(job.scheme_name)
-    )
-    return JobOutcome(result=result, spills=compiled.spill_count if compiled else 0)
+    trace, artifact = _resolve_group_trace(jobs[0].trace_spec(), payload, trace)
+    captured = artifact.to_payload() if artifact is not None else None
+    return [simulate_traced_job(job, trace) for job in jobs], captured
+
+
+def execute_job(job: KernelJob) -> JobOutcome:
+    """Capture the job's lowering and simulate it (the fused path, now a
+    one-job staged run with no persistence and therefore no encode).
+
+    Module-level so worker processes can import it by qualified name.
+    """
+    trace, _ = _resolve_group_trace(job.trace_spec(), None, None)
+    return simulate_traced_job(job, trace)
 
 
 class ParallelSweepEngine:
@@ -151,8 +236,65 @@ class ParallelSweepEngine:
         self.store = store
         self.computed = 0
         self._memo: dict[KernelJob, JobOutcome] = {}
+        # -- capture stage state -------------------------------------- #
+        self._trace_store = TraceStore(store)
+        # Bounded LRU of decoded traces: repeats within a run (and no-store
+        # pooled runs, which have no other tier to answer from) hit the
+        # memo; everything older is re-answered by the TraceStore.
+        self._trace_memo: "OrderedDict[TraceSpec, list[TraceEntry]]" = OrderedDict()
+        #: capture invocations per spec; a staged batch performs exactly one
+        #: capture per distinct trace spec (asserted by the parity suite)
+        self.trace_captures: dict[TraceSpec, int] = {}
+        #: traces answered by the persistent store instead of captured
+        self.trace_store_hits = 0
+
+    @property
+    def traces_captured(self) -> int:
+        """Total functional-machine capture runs this engine performed."""
+        return sum(self.trace_captures.values())
+
+    #: decoded traces kept in memory at once; older entries fall back to
+    #: the persistent TraceStore (or recapture, on store-less engines)
+    _TRACE_MEMO_CAPACITY = 32
 
     # ------------------------------------------------------------------ #
+
+    def _count_capture(self, spec: TraceSpec) -> None:
+        self.trace_captures[spec] = self.trace_captures.get(spec, 0) + 1
+
+    def _memo_trace(self, spec: TraceSpec, trace: list[TraceEntry]) -> None:
+        self._trace_memo[spec] = trace
+        self._trace_memo.move_to_end(spec)
+        while len(self._trace_memo) > self._TRACE_MEMO_CAPACITY:
+            self._trace_memo.popitem(last=False)
+
+    def _memoized_trace(self, spec: TraceSpec) -> Optional[list[TraceEntry]]:
+        trace = self._trace_memo.get(spec)
+        if trace is not None:
+            self._trace_memo.move_to_end(spec)
+        return trace
+
+    def captured_trace(self, spec: TraceSpec) -> list[TraceEntry]:
+        """The captured trace for ``spec``: memo, then store, then capture.
+
+        The capture-stage analogue of :meth:`run_jobs`'s per-job lookup;
+        experiments that need the raw instruction stream (figure12's
+        Duality Cache transform, ``repro trace``) go through here so they
+        share captures with the timing pipeline instead of re-running the
+        functional machine.
+        """
+        trace = self._memoized_trace(spec)
+        if trace is None:
+            artifact = self._trace_store.load(spec)
+            if artifact is not None:
+                self.trace_store_hits += 1
+            else:
+                artifact = spec.capture()
+                self._count_capture(spec)
+                self._trace_store.save(artifact)
+            trace = artifact.trace
+            self._memo_trace(spec, trace)
+        return trace
 
     def _from_store(self, job: KernelJob) -> Optional[JobOutcome]:
         if self.store is None:
@@ -178,16 +320,138 @@ class ParallelSweepEngine:
             {"result": outcome.result.to_dict(), "spills": outcome.spills},
         )
 
+    def _resolve_groups(
+        self, pending: list[KernelJob]
+    ) -> list[tuple[TraceSpec, list[KernelJob], Optional[list[TraceEntry]], Optional[dict]]]:
+        """Group uncached jobs by trace spec and resolve each group's trace
+        source up front: the in-process trace memo, a stored payload, or
+        None (the group must capture)."""
+        groups: dict[TraceSpec, list[KernelJob]] = {}
+        for job in pending:
+            groups.setdefault(job.trace_spec(), []).append(job)
+        if self.store is not None:
+            unknown = [spec for spec in groups if spec not in self._trace_memo]
+            if len(unknown) > 1:
+                # Same batched remote probe the job lookup uses: one round
+                # trip instead of a guaranteed-404 GET per cold trace.
+                self.store.prefetch(spec.cache_key() for spec in unknown)
+        tasks = []
+        for spec, group in groups.items():
+            trace = self._memoized_trace(spec)
+            payload = None
+            if trace is None:
+                # A store hit is only counted once the payload actually
+                # decodes (split/serial/worker paths below): a corrupt
+                # record recaptures and must not read as hit + capture.
+                payload = self._trace_store.load_payload(spec)
+            tasks.append((spec, group, trace, payload))
+        return tasks
+
+    def _run_group_serial(
+        self,
+        spec: TraceSpec,
+        group: list[KernelJob],
+        trace: Optional[list[TraceEntry]],
+        payload: Optional[dict],
+        emit: Callable[[KernelJob, JobOutcome], None],
+    ) -> None:
+        """Capture/decode one group's trace in-process and replay it."""
+        had_payload = trace is None and payload is not None
+        trace, artifact = _resolve_group_trace(spec, payload, trace)
+        if artifact is not None:
+            self._count_capture(spec)
+            self._trace_store.save(artifact)
+        elif had_payload:
+            self.trace_store_hits += 1
+        self._memo_trace(spec, trace)
+        for job in group:
+            emit(job, simulate_traced_job(job, trace))
+
+    def _split_resolved_groups(self, tasks):
+        """Split multi-job groups whose trace is already in hand into up to
+        ``self.jobs`` chunks, so a worker pool can parallelize the replays
+        of a single-kernel multi-config sweep.  Chunks (rather than
+        singletons) keep the decode and the geometry-keyed compile memo
+        shared within each worker.  Groups that still need their capture
+        stay whole -- splitting them would break the
+        capture-once-per-batch invariant.  Stored payloads are decoded here
+        (once, in the parent) rather than per chunk in the workers; a
+        corrupt payload leaves its group whole so it degrades to a single
+        recapture."""
+        split = []
+        for spec, group, trace, payload in tasks:
+            if trace is None and payload is not None and len(group) > 1:
+                try:
+                    trace = decode_trace(payload["trace"])
+                except (KeyError, TypeError, ValueError):
+                    payload = None  # corrupt: let the group recapture once
+                else:
+                    payload = None
+                    self.trace_store_hits += 1
+                    self._memo_trace(spec, trace)
+            if trace is None or len(group) == 1:
+                split.append((spec, group, trace, payload))
+            else:
+                size = (len(group) + self.jobs - 1) // self.jobs
+                split.extend(
+                    (spec, group[i : i + size], trace, None)
+                    for i in range(0, len(group), size)
+                )
+        return split
+
+    def _capture_starved_groups(self, tasks):
+        """Capture multi-job cold groups in the parent when they would
+        starve the pool.
+
+        Capture is the cheap stage; replay dominates.  When there are
+        fewer tasks than workers (e.g. a cold single-kernel multi-config
+        sweep: one group, one task), running each cold group's capture
+        here -- still exactly once per spec -- turns it into a resolved
+        group whose replays can then fan out per job."""
+        resolved = []
+        for spec, group, trace, payload in tasks:
+            if trace is None and payload is None and len(group) > 1:
+                artifact = spec.capture()
+                self._count_capture(spec)
+                self._trace_store.save(artifact)
+                self._memo_trace(spec, artifact.trace)
+                trace = artifact.trace
+            resolved.append((spec, group, trace, payload))
+        return resolved
+
     def _execute_streaming(
         self,
         pending: list[KernelJob],
         emit: Callable[[KernelJob, JobOutcome], None],
     ) -> None:
-        """Execute ``pending``, calling ``emit(job, outcome)`` for each job as
-        soon as its result is available (completion order when a worker pool
-        is used, submission order on the serial path)."""
-        remaining = set(pending)
-        if self.jobs > 1 and len(pending) > 1:
+        """Execute ``pending`` in trace groups, calling ``emit(job, outcome)``
+        for each job as soon as its result is available (group-completion
+        order when a worker pool is used, submission order serially).
+
+        The trace group is the unit of capture: each group captures (or
+        loads) its trace once and replays it for every member job, so a
+        multi-config sweep runs the functional machine once per distinct
+        trace even when sharded across worker processes.  For parallelism,
+        groups whose trace is already resolved are split per job before
+        submission -- only capture work is pinned to one worker.
+        """
+        tasks = self._resolve_groups(pending)
+        if self.jobs > 1:
+            # Will splitting alone feed the pool?  Resolved groups yield up
+            # to `jobs` chunks each; capture-needed groups stay whole.
+            projected = sum(
+                1 if trace is None and payload is None else min(self.jobs, len(group))
+                for _, group, trace, payload in tasks
+            )
+            if projected < min(self.jobs, len(pending)):
+                # Too few tasks to feed the pool: capture the cold groups
+                # up front (cheap) so their replays parallelize too.
+                tasks = self._capture_starved_groups(tasks)
+            # Single split pass: chunks are never re-split into singletons,
+            # preserving within-chunk decode/compile sharing.
+            tasks = self._split_resolved_groups(tasks)
+        remaining = set(range(len(tasks)))
+        if self.jobs > 1 and len(tasks) > 1:
             pool = None
             try:
                 import multiprocessing
@@ -195,7 +459,7 @@ class ParallelSweepEngine:
                 context = None
                 if "fork" in multiprocessing.get_all_start_methods():
                     context = multiprocessing.get_context("fork")
-                workers = min(self.jobs, len(pending))
+                workers = min(self.jobs, len(tasks))
                 pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
             except OSError:
                 # Restricted environments (fork blocked by seccomp/cgroups):
@@ -204,26 +468,48 @@ class ParallelSweepEngine:
             if pool is not None:
                 with pool:
                     try:
-                        futures = {pool.submit(execute_job, job): job for job in pending}
+                        futures = {
+                            pool.submit(execute_trace_group, group, payload, trace): index
+                            for index, (spec, group, trace, payload) in enumerate(tasks)
+                        }
                     except (OSError, BrokenProcessPool):
                         futures = {}
                     for future in as_completed(futures):
-                        job = futures[future]
+                        index = futures[future]
+                        spec, group, task_trace, task_payload = tasks[index]
                         try:
-                            outcome = future.result()
+                            outcomes, captured = future.result()
                         except (OSError, BrokenProcessPool):
-                            # Workers killed mid-batch: leave this job for the
-                            # serial pass below.
+                            # Workers killed mid-batch: leave this group for
+                            # the serial pass below.
                             continue
+                        if captured is not None:
+                            self._count_capture(spec)
+                            self._trace_store.save_payload(spec, captured)
+                            if self.store is None:
+                                # No store to answer later lookups: memoize
+                                # the decoded trace so captured_trace() and
+                                # follow-up batches never recapture.
+                                try:
+                                    self._memo_trace(
+                                        spec, decode_trace(captured["trace"])
+                                    )
+                                except (KeyError, TypeError, ValueError):
+                                    pass
+                        elif task_trace is None and task_payload is not None:
+                            # The worker replayed a stored payload: that is
+                            # the store hit (counted here, post-decode).
+                            self.trace_store_hits += 1
+                        remaining.discard(index)
                         # emit runs outside the except scopes above so a
                         # callback/persistence error propagates instead of
                         # being mistaken for a broken pool (which would
                         # silently re-simulate already-finished jobs).
-                        emit(job, outcome)
-                        remaining.discard(job)
-        for job in pending:
-            if job in remaining:
-                emit(job, execute_job(job))
+                        for job, outcome in zip(group, outcomes):
+                            emit(job, outcome)
+        for index, (spec, group, trace, payload) in enumerate(tasks):
+            if index in remaining:
+                self._run_group_serial(spec, group, trace, payload, emit)
 
     def run_jobs(
         self,

@@ -52,12 +52,17 @@ class TraceStats:
         self.scalar = 0
         self.scalar_loads = 0
         self.scalar_stores = 0
+        #: dynamic count per opcode mnemonic (``vadd`` -> 123)
+        self.opcodes: dict[str, int] = {}
         for entry in trace:
             if isinstance(entry, ScalarBlock):
                 self.scalar += entry.count
                 self.scalar_loads += entry.loads
                 self.scalar_stores += entry.stores
-            elif entry.category is InstructionCategory.CONFIG:
+                continue
+            mnemonic = entry.opcode.value
+            self.opcodes[mnemonic] = self.opcodes.get(mnemonic, 0) + 1
+            if entry.category is InstructionCategory.CONFIG:
                 self.config += 1
             elif entry.category is InstructionCategory.MOVE:
                 self.move += 1
@@ -96,6 +101,20 @@ class MVEMachine:
         self.cr = ControlRegisters()
         self.trace: list[TraceEntry] = []
         self._next_register = 0
+
+    @classmethod
+    def for_capture(
+        cls, memory: Optional[FlatMemory] = None, simd_lanes: int = 8192
+    ) -> "MVEMachine":
+        """A machine configured for the staged pipeline's capture phase.
+
+        Value recording is off: every intrinsic still emits its full
+        timing-relevant instruction (addresses, strides, masks, resolved
+        random bases), but no payload data is read from or written to flat
+        memory, so capture is cheap and the recorded trace is identical to
+        the value-recording one (pinned by the regression suite).
+        """
+        return cls(memory, simd_lanes=simd_lanes, record_values=False)
 
     # ------------------------------------------------------------------ #
     # bookkeeping helpers

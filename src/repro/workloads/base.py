@@ -100,19 +100,40 @@ class Kernel(abc.ABC):
 
     # -- convenience ------------------------------------------------------- #
 
-    def trace_mve(self, simd_lanes: int = 8192) -> list[TraceEntry]:
-        """Run the MVE implementation and return its instruction trace."""
+    def capture(
+        self, kind: str = "mve", simd_lanes: int = 8192, record_values: bool = False
+    ) -> list[TraceEntry]:
+        """Capture the instruction trace of one lowering.
+
+        This is the staged pipeline's first phase: by default it runs the
+        functional machine with value recording off, so only the
+        timing-relevant instruction stream is produced (no flat-memory
+        payload traffic).  The emitted trace is identical to a
+        value-recording run -- values are only needed by :meth:`validate`.
+        """
+        if kind not in ("mve", "rvv"):
+            raise ValueError(f"unknown trace kind {kind!r}")
         self.setup()
-        machine = MVEMachine(self.memory, simd_lanes=simd_lanes)
-        self.run_mve(machine)
+        machine = MVEMachine(
+            self.memory, simd_lanes=simd_lanes, record_values=record_values
+        )
+        if kind == "rvv":
+            self.run_rvv(machine)
+        else:
+            self.run_mve(machine)
         return machine.trace
 
-    def trace_rvv(self, simd_lanes: int = 8192) -> list[TraceEntry]:
+    def trace_mve(
+        self, simd_lanes: int = 8192, record_values: bool = True
+    ) -> list[TraceEntry]:
+        """Run the MVE implementation and return its instruction trace."""
+        return self.capture("mve", simd_lanes=simd_lanes, record_values=record_values)
+
+    def trace_rvv(
+        self, simd_lanes: int = 8192, record_values: bool = True
+    ) -> list[TraceEntry]:
         """Run the RVV lowering and return its instruction trace."""
-        self.setup()
-        machine = MVEMachine(self.memory, simd_lanes=simd_lanes)
-        self.run_rvv(machine)
-        return machine.trace
+        return self.capture("rvv", simd_lanes=simd_lanes, record_values=record_values)
 
     def validate(self, rtol: float = 1e-3, atol: float = 1e-4) -> bool:
         """Check the MVE implementation against the numpy reference."""

@@ -307,7 +307,10 @@ class TestBatchedPrefetch:
         engine.run_jobs(SPEC.jobs())
         stats = server.stats()
         assert stats["gets"] == 0 and stats["misses"] == 0
-        assert stats["puts"] == len(SPEC.jobs())
+        # Every simulation result plus every capture-stage trace artifact
+        # is published to the shared tier.
+        assert stats["puts"] == len(SPEC.jobs()) + engine.traces_captured
+        assert engine.traces_captured == 2
 
     def test_probe_does_not_hide_warm_remote_entries(self, server, tmp_path, expected):
         ParallelSweepEngine(
@@ -454,11 +457,12 @@ class TestFaultInjection:
             outcomes = engine.run_jobs(SPEC.jobs(), on_result=kill_server_after_first_result)
         single_remote_warning(caught)
         assert outcome_dicts(outcomes) == expected
-        # The first job made it to the server before the kill, atomically.
+        # The first job -- its capture-stage trace artifact and its result
+        # -- made it to the server before the kill, atomically.
         server_backend = LocalDirBackend(tmp_path / "server")
-        assert len(server_backend) == 1
-        (entry,) = (tmp_path / "server").glob("*/*.json")
-        assert json.loads(entry.read_text())["schema"] == CACHE_SCHEMA_VERSION
+        assert len(server_backend) == 2
+        for entry in (tmp_path / "server").glob("*/*.json"):
+            assert json.loads(entry.read_text())["schema"] == CACHE_SCHEMA_VERSION
         # The local tier holds every result uncorrupted.
         replay = ParallelSweepEngine(jobs=1, store=ResultStore(tmp_path / "local"))
         assert outcome_dicts(replay.run_jobs(SPEC.jobs())) == expected
@@ -490,6 +494,112 @@ class TestFaultInjection:
 def faulty_server_url(srv) -> str:
     host, port = srv.server_address[:2]
     return f"http://{host}:{port}"
+
+
+# ---------------------------------------------------------------------- #
+#  Background re-probe: dead is not forever
+# ---------------------------------------------------------------------- #
+
+
+class TestBackgroundReprobe:
+    def _wait_for_rejoin(self, remote, timeout_s=5.0):
+        deadline = time.time() + timeout_s
+        while remote.dead and time.time() < deadline:
+            time.sleep(0.02)
+        assert not remote.dead, "store never rejoined the recovered service"
+
+    def test_store_rejoins_recovered_service(self, tmp_path):
+        """Kill the service, watch the store die with one warning, restart
+        the service on the same port, and assert the background probe flips
+        the store live again and requests flow end to end."""
+        record = {"schema": CACHE_SCHEMA_VERSION, "result": {"x": 1}}
+        srv = CacheServer(("127.0.0.1", 0), root=tmp_path / "server")
+        srv.start_in_background()
+        port = srv.server_address[1]
+        remote = RemoteStore(srv.url, timeout=2.0, reprobe_interval=0.05)
+        assert remote.store(KEY_A, record)
+        srv.shutdown()
+        srv.server_close()
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert remote.load(KEY_B) is None
+            assert remote.dead
+            srv2 = CacheServer(("127.0.0.1", port), root=tmp_path / "server")
+            srv2.start_in_background()
+            try:
+                self._wait_for_rejoin(remote)
+                assert remote.rejoins == 1
+                # live again in both directions
+                assert remote.load(KEY_A) == record
+                assert remote.store(KEY_B, record)
+                assert remote.contains(KEY_B)
+            finally:
+                srv2.shutdown()
+                srv2.server_close()
+        messages = [
+            str(w.message) for w in caught
+            if issubclass(w.category, RuntimeWarning) and "remote cache" in str(w.message)
+        ]
+        assert len(messages) == 2, messages
+        assert "falling back" in messages[0]
+        assert "rejoining" in messages[1]
+
+    def test_sweep_worker_rejoins_service_that_recovers_mid_run(self, tmp_path, expected):
+        """Engine-level fault injection: a worker degrades to local-only,
+        the service comes back, and later sweep batches publish to -- and
+        are answered by -- the shared tier again without a restart."""
+        srv = CacheServer(("127.0.0.1", 0), root=tmp_path / "server")
+        srv.start_in_background()
+        port = srv.server_address[1]
+        srv.shutdown()
+        srv.server_close()
+
+        remote = RemoteStore(f"http://127.0.0.1:{port}", timeout=1.0, reprobe_interval=0.05)
+        store = ResultStore(tmp_path / "local", remote=remote)
+        engine = ParallelSweepEngine(jobs=1, store=store)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcomes = engine.run_jobs(SPEC.jobs())
+            assert remote.dead
+            assert outcome_dicts(outcomes) == expected
+
+            # The service recovers; the background probe rejoins the fleet.
+            srv2 = CacheServer(("127.0.0.1", port), root=tmp_path / "server")
+            srv2.start_in_background()
+            try:
+                self._wait_for_rejoin(remote)
+                late_jobs = SweepSpec(
+                    name="late", kernels=[("adler32", {"scale": 0.25})]
+                ).jobs()
+                engine.run_jobs(late_jobs)
+                # The post-recovery batch reached the shared tier: result
+                # plus capture-stage trace artifact.
+                server_backend = LocalDirBackend(tmp_path / "server")
+                assert server_backend.contains(late_jobs[0].cache_key())
+                assert server_backend.contains(late_jobs[0].trace_spec().cache_key())
+                # ...and a fresh machine is answered entirely remotely.
+                other = ParallelSweepEngine(
+                    jobs=1, store=ResultStore(tmp_path / "other", remote=srv2.url)
+                )
+                replayed = other.run_jobs(late_jobs)
+                assert other.computed == 0
+                assert replayed[late_jobs[0]].source == "remote"
+            finally:
+                srv2.shutdown()
+                srv2.server_close()
+
+    def test_zero_interval_disables_reprobing(self, tmp_path):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        remote = RemoteStore(f"http://127.0.0.1:{port}", timeout=0.5, reprobe_interval=0)
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            assert remote.load(KEY_A) is None
+        assert remote.dead
+        assert remote._reprobe_thread is None
 
 
 # ---------------------------------------------------------------------- #

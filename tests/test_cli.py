@@ -127,16 +127,59 @@ class TestRunSweepCommand:
         assert "[1/1]" not in capsys.readouterr().err
 
 
+class TestTraceCommand:
+    def test_capture_then_stats_hits_the_trace_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert cli_main(["--cache-dir", cache_dir, "trace", "capture", "csum",
+                         "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "captured in" in out and "columnar npz" in out
+
+        # stats answers from the store: no fresh capture
+        assert cli_main(["--cache-dir", cache_dir, "trace", "stats", "csum",
+                         "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "[cache]" in out
+        assert "Dynamic instruction mix" in out
+        assert "vsld" in out and "arithmetic" in out
+
+    def test_stats_without_cache_captures_fresh(self, tmp_path, capsys):
+        assert cli_main(["--cache-dir", str(tmp_path), "trace", "stats", "csum",
+                         "--scale", "0.25", "--no-cache"]) == 0
+        assert "captured in" in capsys.readouterr().out
+        assert not any((tmp_path).glob("*/*.json"))
+
+    def test_list_marks_cached_and_rvv_kernels(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert cli_main(["--cache-dir", cache_dir, "trace", "capture", "csum"]) == 0
+        capsys.readouterr()
+        assert cli_main(["--cache-dir", cache_dir, "trace", "list"]) == 0
+        out = capsys.readouterr().out
+        (csum_row,) = [line for line in out.splitlines() if line.startswith("csum ")]
+        assert "yes" in csum_row  # rvv support and cached marker
+        assert "gemm" in out
+
+    def test_unknown_kernel_and_missing_lowering_are_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown kernel"):
+            cli_main(["--cache-dir", str(tmp_path), "trace", "stats", "nope"])
+        with pytest.raises(SystemExit, match="no rvv lowering"):
+            cli_main(["--cache-dir", str(tmp_path), "trace", "stats", "memcpy",
+                      "--kind", "rvv"])
+        with pytest.raises(SystemExit, match="pass a kernel"):
+            cli_main(["--cache-dir", str(tmp_path), "trace", "capture"])
+
+
 class TestCacheCommand:
     def test_info_and_clear(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
         cli_main(["--cache-dir", cache_dir, "run", "--kernels", "csum",
                   "--scale", "0.25", "--jobs", "1", "--no-progress"])
         capsys.readouterr()
+        # One simulation result plus its capture-stage trace artifact.
         assert cli_main(["--cache-dir", cache_dir, "cache"]) == 0
-        assert "(1 entries)" in capsys.readouterr().out
+        assert "(2 entries)" in capsys.readouterr().out
         assert cli_main(["--cache-dir", cache_dir, "cache", "clear"]) == 0
-        assert "removed 1" in capsys.readouterr().out
+        assert "removed 2" in capsys.readouterr().out
 
 
 class TestExportSchemaGolden:

@@ -65,8 +65,10 @@ class TestResultStore:
     def test_clear_removes_entries(self, tmp_path):
         store = ResultStore(tmp_path)
         ParallelSweepEngine(jobs=1, store=store).run_one(SMALL_JOB)
-        assert len(store) == 1
-        assert store.clear() == 1
+        # A staged run persists two records: the simulation result and the
+        # capture-stage trace artifact it replayed.
+        assert len(store) == 2
+        assert store.clear() == 2
         assert len(store) == 0
 
 
@@ -356,8 +358,9 @@ class TestSweepCli:
         assert sweep_cli(["--cache-dir", cache_dir, "list"]) == 0
         assert "Named sweeps" in capsys.readouterr().out
 
+        # 2 simulation results + 2 capture-stage trace artifacts.
         assert sweep_cli(["--cache-dir", cache_dir, "clear-cache"]) == 0
-        assert "removed 2" in capsys.readouterr().out
+        assert "removed 4" in capsys.readouterr().out
 
     def test_run_no_cache_leaves_store_empty(self, tmp_path, capsys):
         cache_dir = tmp_path / "cache"
