@@ -1,0 +1,84 @@
+"""Perf smoke for the config-batched replay engine.
+
+A warm-trace multi-config sweep is the staged pipeline's hot loop: the
+functional machine never runs, so all the wall-clock is timing replay.
+The batched engine evaluates the whole config axis in one pass over the
+trace -- one cache/DRAM state replay per distinct memory configuration,
+one compute pass per distinct engine configuration -- instead of one full
+``simulate_trace`` per config.  This check fails if the batched path ever
+regresses to per-config replay cost.  The comparison is relative (same
+machine, same process) so it is robust to slow CI hosts; absolute numbers
+from a quiet host live in ``BENCH_config_batch.json``.
+"""
+
+import dataclasses
+import time
+
+from repro.core.cache import ResultStore
+from repro.core.config import default_config
+from repro.experiments.sweep import KernelJob, ParallelSweepEngine
+from repro.sram.schemes import SCHEME_NAMES
+
+
+def eight_config_jobs():
+    """One captured trace, eight configs: 4 schemes x 2 l2_compute_ways."""
+    base = default_config()
+    jobs = [
+        KernelJob(
+            kernel="gemm",
+            scale=0.5,
+            scheme_name=scheme,
+            config=dataclasses.replace(base.with_scheme(scheme), l2_compute_ways=ways),
+        )
+        for scheme in SCHEME_NAMES
+        for ways in (4, 6)
+    ]
+    assert len({job.trace_spec() for job in jobs}) == 1
+    return jobs
+
+
+def drop_results_keep_traces(store_root, jobs):
+    trace_keys = {job.trace_spec().cache_key() for job in jobs}
+    for path in store_root.glob("*/*.json"):
+        if path.stem not in trace_keys:
+            path.unlink()
+
+
+def test_batched_replay_beats_per_config(tmp_path, monkeypatch):
+    jobs = eight_config_jobs()
+    ParallelSweepEngine(jobs=1, store=ResultStore(tmp_path)).run_jobs(jobs)
+
+    # Results cold, trace warm: the legacy escape hatch replays per config.
+    drop_results_keep_traces(tmp_path, jobs)
+    monkeypatch.setenv("REPRO_BATCHED_REPLAY", "0")
+    legacy = ParallelSweepEngine(jobs=1, store=ResultStore(tmp_path))
+    start = time.perf_counter()
+    legacy_outcomes = legacy.run_jobs(jobs)
+    legacy_s = time.perf_counter() - start
+    monkeypatch.delenv("REPRO_BATCHED_REPLAY")
+
+    drop_results_keep_traces(tmp_path, jobs)
+    batched = ParallelSweepEngine(jobs=1, store=ResultStore(tmp_path))
+    start = time.perf_counter()
+    outcomes = batched.run_jobs(jobs)
+    batched_s = time.perf_counter() - start
+
+    # Both sides really replayed (no result-cache short-circuit), the
+    # batched side in a single pass, and bit-identically.
+    assert legacy.computed == batched.computed == len(jobs)
+    assert legacy.traces_captured == batched.traces_captured == 0
+    assert legacy.batched_replays == 0
+    assert batched.batched_replays == 1
+    for job in jobs:
+        assert outcomes[job].result.to_dict() == legacy_outcomes[job].result.to_dict()
+
+    speedup = legacy_s / max(batched_s, 1e-9)
+    print(
+        f"\nper-config {legacy_s:.2f}s vs batched {batched_s:.2f}s "
+        f"({speedup:.2f}x over 8 configs, 1 batched replay)"
+    )
+    # Measured ~4-5x on a quiet host (BENCH_config_batch.json); 3x is the
+    # acceptance floor and still leaves room for noisy CI machines.
+    assert batched_s * 3.0 < legacy_s, (
+        f"batched replay too slow: {batched_s:.2f}s vs per-config {legacy_s:.2f}s"
+    )

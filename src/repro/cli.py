@@ -426,7 +426,39 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print("\nPer-opcode counts:")
     ranked = sorted(stats.opcodes.items(), key=lambda item: (-item[1], item[0]))
     print(format_table(["opcode", "count"], [[op, count] for op, count in ranked]))
+
+    if args.configs:
+        _print_config_batching(args.configs, args.kernel, args.scale)
     return 0
+
+
+def _print_config_batching(sweep_name: str, kernel: str, scale: float) -> None:
+    """``trace stats KERNEL --configs SWEEP``: how the named sweep's
+    configurations for this kernel collapse into batched replays."""
+    from .core.replay import batched_replay_enabled
+    from .experiments.sweep import batch_partitions
+
+    try:
+        sweep_spec = named_sweep(sweep_name, scale=scale)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"trace stats --configs: {error.args[0]}") from None
+
+    groups: dict = {}
+    for job in sweep_spec.jobs():
+        if job.kernel == kernel:
+            groups.setdefault(job.trace_spec(), []).append(job)
+    if not groups:
+        print(f"\nSweep {sweep_name!r} has no jobs for kernel {kernel!r}.")
+        return
+
+    enabled = batched_replay_enabled()
+    mode = "on" if enabled else "off (REPRO_BATCHED_REPLAY=0)"
+    print(f"\nConfig batching for sweep {sweep_name!r} [{mode}]:")
+    rows = []
+    for spec, jobs in groups.items():
+        replays = len(batch_partitions(jobs)) if enabled else len(jobs)
+        rows.append([spec.describe(), len(jobs), replays])
+    print(format_table(["trace", "configs", "batched replays"], rows))
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -653,6 +685,11 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
     trace.add_argument(
         "--lanes", type=int, default=None,
         help="SIMD lane count (default: the base configuration's engine width)",
+    )
+    trace.add_argument(
+        "--configs", metavar="SWEEP", default=None,
+        help="with `stats`: report how many configurations of the named "
+        "sweep share one batched replay of this kernel's trace",
     )
     trace.add_argument(
         "--no-cache", action="store_true", help="capture fresh, bypassing the trace cache"

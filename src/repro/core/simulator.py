@@ -43,7 +43,7 @@ from .energy import EnergyCoefficients, EnergyModel
 from .results import SimulationResult
 from .scalar_core import ScalarCoreModel
 
-__all__ = ["MVESimulator", "simulate_kernel", "simulate_trace"]
+__all__ = ["MVESimulator", "simulate_kernel", "simulate_trace", "simulate_trace_batch"]
 
 
 class MVESimulator:
@@ -301,3 +301,11 @@ def simulate_trace(
     else:
         result = simulator.run(compiled.trace)
     return result, compiled
+
+
+# The config-batched sibling of simulate_trace lives in .replay (it shares
+# this module's timing semantics but none of its per-config state); importing
+# it here keeps `from repro.core.simulator import simulate_trace_batch` the
+# canonical spelling.  The import sits below the definitions it depends on
+# because replay's per-config fallback calls back into simulate_trace.
+from .replay import simulate_trace_batch  # noqa: E402  (intentional tail import)

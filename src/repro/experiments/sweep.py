@@ -28,7 +28,11 @@ The engine also
   is pure Python + numpy, so process-level parallelism is the only way to
   use more than one core.  Capture work is pinned to one worker per trace
   group (keeping every capture single-shot even under a pool); replays of
-  already-resolved traces are split per job for full parallelism.
+  already-resolved traces are split per batched-replay partition
+  (:func:`batch_partitions`): configs sharing a compiled kernel replay
+  together through :func:`~repro.core.replay.simulate_trace_batch`, so a
+  K-config scheme/cache/DRAM axis costs ~1 decomposed replay instead of K
+  (``REPRO_BATCHED_REPLAY=0`` restores the per-job split and loop).
 
 ``python -m repro`` exposes the same engine as a batch CLI (with
 ``python -m repro.sweep`` kept as a deprecated alias); the
@@ -51,6 +55,7 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..core.cache import ResultStore, code_fingerprint, config_digest, stable_hash
 from ..core.config import MachineConfig, default_config
+from ..core.replay import batched_replay_enabled, replay_group_key, simulate_trace_batch
 from ..core.results import SimulationResult
 from ..core.simulator import simulate_trace
 from ..core.traces import TraceArtifact, TraceSpec, TraceStore
@@ -65,8 +70,10 @@ __all__ = [
     "SweepSpec",
     "SweepResult",
     "ParallelSweepEngine",
+    "batch_partitions",
     "execute_job",
     "execute_trace_group",
+    "simulate_traced_group",
     "simulate_traced_job",
     "default_job_count",
 ]
@@ -165,6 +172,44 @@ def simulate_traced_job(job: KernelJob, trace: Sequence[TraceEntry]) -> JobOutco
     return JobOutcome(result=result, spills=compiled.spill_count)
 
 
+def batch_partitions(jobs: Sequence[KernelJob]) -> list[list[KernelJob]]:
+    """Partition jobs (sharing one trace spec) into batched-replay units.
+
+    Jobs in one partition share the compiled kernel
+    (:func:`~repro.core.replay.replay_group_key`: register-file geometry) and
+    replay together through one :func:`simulate_trace_batch` pass; every
+    other config axis -- scheme, cache geometry, DRAM structure/timing, TMU
+    and latency knobs -- batches.  Partition order follows first appearance,
+    and each partition preserves the input job order."""
+    groups: dict[tuple, list[KernelJob]] = {}
+    for job in jobs:
+        groups.setdefault(replay_group_key(job.config), []).append(job)
+    return list(groups.values())
+
+
+def simulate_traced_group(
+    jobs: Sequence[KernelJob], trace: Sequence[TraceEntry]
+) -> list[JobOutcome]:
+    """Replay one resolved trace for every job, batching the config axis.
+
+    With batching enabled (the default), jobs replay through
+    :func:`simulate_trace_batch`, which groups them by compiled-kernel
+    geometry internally -- a K-config axis costs ~1 decomposed replay instead
+    of K.  ``REPRO_BATCHED_REPLAY=0`` (or the scalar cache reference) falls
+    back to the per-job loop; outcomes are bit-identical either way."""
+    if len(jobs) == 1 or not batched_replay_enabled():
+        return [simulate_traced_job(job, trace) for job in jobs]
+    replays = simulate_trace_batch(
+        trace,
+        [job.config for job in jobs],
+        schemes=[get_scheme(job.scheme_name) for job in jobs],
+    )
+    return [
+        JobOutcome(result=result, spills=compiled.spill_count)
+        for result, compiled in replays
+    ]
+
+
 def _resolve_group_trace(
     spec: TraceSpec,
     payload: Optional[dict],
@@ -210,7 +255,7 @@ def execute_trace_group(
     """
     trace, artifact = _resolve_group_trace(jobs[0].trace_spec(), payload, trace)
     captured = artifact.to_payload() if artifact is not None else None
-    return [simulate_traced_job(job, trace) for job in jobs], captured
+    return simulate_traced_group(jobs, trace), captured
 
 
 def execute_job(job: KernelJob) -> JobOutcome:
@@ -245,8 +290,22 @@ class ParallelSweepEngine:
         #: capture invocations per spec; a staged batch performs exactly one
         #: capture per distinct trace spec (asserted by the parity suite)
         self.trace_captures: dict[TraceSpec, int] = {}
-        #: traces answered by the persistent store instead of captured
-        self.trace_store_hits = 0
+        #: distinct specs answered by the persistent store instead of
+        #: captured; a set (not an event counter) so the count stays "one per
+        #: warm trace" no matter how many chunks, workers or repeat lookups
+        #: touch the same payload
+        self._trace_store_hit_specs: set[TraceSpec] = set()
+        #: multi-config batched replay passes performed (one per partition
+        #: of :func:`batch_partitions` with at least two jobs)
+        self.batched_replays = 0
+
+    @property
+    def trace_store_hits(self) -> int:
+        """Distinct traces answered by the persistent store this engine's
+        lifetime.  Derived from a per-spec set, which structurally prevents
+        the historical over-count where a warm single-kernel sweep split
+        into ``--jobs`` chunks reported one hit per chunk."""
+        return len(self._trace_store_hit_specs)
 
     @property
     def traces_captured(self) -> int:
@@ -261,6 +320,20 @@ class ParallelSweepEngine:
 
     def _count_capture(self, spec: TraceSpec) -> None:
         self.trace_captures[spec] = self.trace_captures.get(spec, 0) + 1
+
+    def _count_store_hit(self, spec: TraceSpec) -> None:
+        self._trace_store_hit_specs.add(spec)
+
+    def _count_batched_replays(self, group: Sequence[KernelJob]) -> None:
+        """Record the batched replay passes a group's execution performed
+        (the parent computes the same geometry partitioning the worker
+        does, so pool-side replays are counted without shipping state
+        back)."""
+        if not batched_replay_enabled():
+            return
+        for partition in batch_partitions(group):
+            if len(partition) > 1:
+                self.batched_replays += 1
 
     def _memo_trace(self, spec: TraceSpec, trace: list[TraceEntry]) -> None:
         self._trace_memo[spec] = trace
@@ -287,7 +360,7 @@ class ParallelSweepEngine:
         if trace is None:
             artifact = self._trace_store.load(spec)
             if artifact is not None:
-                self.trace_store_hits += 1
+                self._count_store_hit(spec)
             else:
                 artifact = spec.capture()
                 self._count_capture(spec)
@@ -362,22 +435,28 @@ class ParallelSweepEngine:
             self._count_capture(spec)
             self._trace_store.save(artifact)
         elif had_payload:
-            self.trace_store_hits += 1
+            self._count_store_hit(spec)
         self._memo_trace(spec, trace)
-        for job in group:
-            emit(job, simulate_traced_job(job, trace))
+        self._count_batched_replays(group)
+        for job, outcome in zip(group, simulate_traced_group(group, trace)):
+            emit(job, outcome)
 
     def _split_resolved_groups(self, tasks):
-        """Split multi-job groups whose trace is already in hand into up to
-        ``self.jobs`` chunks, so a worker pool can parallelize the replays
-        of a single-kernel multi-config sweep.  Chunks (rather than
-        singletons) keep the decode and the geometry-keyed compile memo
-        shared within each worker.  Groups that still need their capture
-        stay whole -- splitting them would break the
-        capture-once-per-batch invariant.  Stored payloads are decoded here
-        (once, in the parent) rather than per chunk in the workers; a
-        corrupt payload leaves its group whole so it degrades to a single
-        recapture."""
+        """Split multi-job groups whose trace is already in hand so a worker
+        pool can parallelize the replays of a single-kernel multi-config
+        sweep.
+
+        With batched replay enabled the split unit is a
+        :func:`batch_partitions` partition: one partition is ~one decomposed
+        replay pass, so finer chunks would only re-run shared passes in
+        separate workers.  With batching off, groups chunk into up to
+        ``self.jobs`` slices as before (chunks rather than singletons keep
+        the decode and the geometry-keyed compile memo shared within each
+        worker).  Groups that still need their capture stay whole --
+        splitting them would break the capture-once-per-batch invariant.
+        Stored payloads are decoded here (once, in the parent) rather than
+        per chunk in the workers; a corrupt payload leaves its group whole
+        so it degrades to a single recapture."""
         split = []
         for spec, group, trace, payload in tasks:
             if trace is None and payload is not None and len(group) > 1:
@@ -387,10 +466,15 @@ class ParallelSweepEngine:
                     payload = None  # corrupt: let the group recapture once
                 else:
                     payload = None
-                    self.trace_store_hits += 1
+                    self._count_store_hit(spec)
                     self._memo_trace(spec, trace)
             if trace is None or len(group) == 1:
                 split.append((spec, group, trace, payload))
+            elif batched_replay_enabled():
+                split.extend(
+                    (spec, partition, trace, None)
+                    for partition in batch_partitions(group)
+                )
             else:
                 size = (len(group) + self.jobs - 1) // self.jobs
                 split.extend(
@@ -432,15 +516,24 @@ class ParallelSweepEngine:
         loads) its trace once and replays it for every member job, so a
         multi-config sweep runs the functional machine once per distinct
         trace even when sharded across worker processes.  For parallelism,
-        groups whose trace is already resolved are split per job before
+        groups whose trace is already resolved are split per batched-replay
+        partition (per job with ``REPRO_BATCHED_REPLAY=0``) before
         submission -- only capture work is pinned to one worker.
         """
         tasks = self._resolve_groups(pending)
         if self.jobs > 1:
-            # Will splitting alone feed the pool?  Resolved groups yield up
-            # to `jobs` chunks each; capture-needed groups stay whole.
+            # Will splitting alone feed the pool?  Resolved groups yield one
+            # task per batched-replay partition (or up to `jobs` chunks with
+            # batching off); capture-needed groups stay whole.
+            batched = batched_replay_enabled()
             projected = sum(
-                1 if trace is None and payload is None else min(self.jobs, len(group))
+                1
+                if trace is None and payload is None
+                else (
+                    len(batch_partitions(group))
+                    if batched
+                    else min(self.jobs, len(group))
+                )
                 for _, group, trace, payload in tasks
             )
             if projected < min(self.jobs, len(pending)):
@@ -498,8 +591,10 @@ class ParallelSweepEngine:
                                     pass
                         elif task_trace is None and task_payload is not None:
                             # The worker replayed a stored payload: that is
-                            # the store hit (counted here, post-decode).
-                            self.trace_store_hits += 1
+                            # the store hit (counted here, post-decode; the
+                            # per-spec set keeps repeats idempotent).
+                            self._count_store_hit(spec)
+                        self._count_batched_replays(group)
                         remaining.discard(index)
                         # emit runs outside the except scopes above so a
                         # callback/persistence error propagates instead of

@@ -29,7 +29,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-from .dram import DRAMModel
+from .dram import DRAMConfig, DRAMModel
 
 __all__ = [
     "CacheConfig",
@@ -287,6 +287,9 @@ class HierarchyConfig:
     llc: CacheConfig = CacheConfig(
         name="LLC", size_bytes=2 * 1024 * 1024, ways=8, hit_latency=31, mshr_entries=64
     )
+    #: backing-memory timing; part of the machine config so DRAM becomes a
+    #: sweepable axis (and flows into result cache keys via config_digest)
+    dram: DRAMConfig = DRAMConfig()
 
 
 class CacheHierarchy:
@@ -311,7 +314,7 @@ class CacheHierarchy:
         l2_compute_ways: int = 4,
     ):
         self.config = config or HierarchyConfig()
-        self.dram = dram or DRAMModel()
+        self.dram = dram or DRAMModel(self.config.dram)
         self.l2_compute_ways = l2_compute_ways
 
         l2_cfg = self.config.l2

@@ -41,6 +41,14 @@ class DRAMConfig:
     def row_hit_latency(self) -> int:
         return self.t_cas + self.t_burst
 
+    @property
+    def structure(self) -> tuple[int, int, int, int]:
+        """The address-mapping parameters.  Two configs with equal structure
+        classify every access stream identically (same row hits, same open-row
+        evolution) and differ only in how a hit or miss is priced -- the
+        invariant the config-batched replay engine leans on."""
+        return (self.num_channels, self.num_banks, self.row_size_bytes, self.burst_bytes)
+
 
 @dataclass
 class DRAMStats:
@@ -104,22 +112,24 @@ class DRAMModel:
         self.stats.busy_cycles += bursts * cfg.t_burst
         return latency
 
-    def access_batch(
+    def classify_batch(
         self, addresses: np.ndarray, is_write: bool = False, size_bytes: int = 64
     ) -> np.ndarray:
-        """Per-access latencies for a batch of accesses, in request order.
+        """Row-hit mask for a batch of accesses, in request order.
 
-        Bit-for-bit equivalent to calling :meth:`access` once per address in
-        sequence -- including the open-row state carried between accesses --
-        but with the row-buffer classification done in array form: requests
-        are stably grouped by (channel, bank), each compared against its
-        predecessor in the same bank (the first against the open-row table),
-        and the table updated with each bank's last row.
+        Performs the full state transition of :meth:`access_batch` -- the
+        open-row table and every statistic are updated exactly as a
+        per-address :meth:`access` sequence would -- but returns the boolean
+        row-buffer classification instead of latencies.  The classification
+        depends only on the structural parameters (channels, banks, row and
+        burst size), never on the timing parameters, which is what lets the
+        config-batched replay engine share one classification pass across
+        configs that differ only in DRAM timing.
         """
         addresses = addresses.astype(np.int64, copy=False).ravel()
         n = int(addresses.size)
         if n == 0:
-            return np.zeros(0, dtype=np.int64)
+            return np.zeros(0, dtype=bool)
         cfg = self.config
         rows = addresses // cfg.row_size_bytes
         channels = (addresses // cfg.burst_bytes) % cfg.num_channels
@@ -139,12 +149,7 @@ class DRAMModel:
             open_row = self._open_rows.get((key // cfg.num_banks, key % cfg.num_banks))
             previous[position] = -1 if open_row is None else open_row
 
-        row_hit = previous == sorted_rows
-        bursts = max(1, (size_bytes + cfg.burst_bytes - 1) // cfg.burst_bytes)
-        per_access = (bursts - 1) * cfg.t_burst
-        sorted_latencies = np.where(
-            row_hit, cfg.row_hit_latency + per_access, cfg.row_miss_latency + per_access
-        ).astype(np.int64)
+        sorted_row_hit = previous == sorted_rows
 
         group_end = np.empty(n, dtype=bool)
         group_end[-1] = True
@@ -155,7 +160,7 @@ class DRAMModel:
                 sorted_rows[position]
             )
 
-        hits = int(row_hit.sum())
+        hits = int(sorted_row_hit.sum())
         self.stats.row_hits += hits
         self.stats.row_misses += n - hits
         if is_write:
@@ -163,11 +168,44 @@ class DRAMModel:
         else:
             self.stats.reads += n
         self.stats.bytes_transferred += n * size_bytes
+        bursts = max(1, (size_bytes + cfg.burst_bytes - 1) // cfg.burst_bytes)
         self.stats.busy_cycles += n * bursts * cfg.t_burst
 
-        latencies = np.empty(n, dtype=np.int64)
-        latencies[order] = sorted_latencies
-        return latencies
+        row_hit = np.empty(n, dtype=bool)
+        row_hit[order] = sorted_row_hit
+        return row_hit
+
+    def access_batch(
+        self, addresses: np.ndarray, is_write: bool = False, size_bytes: int = 64
+    ) -> np.ndarray:
+        """Per-access latencies for a batch of accesses, in request order.
+
+        Bit-for-bit equivalent to calling :meth:`access` once per address in
+        sequence -- including the open-row state carried between accesses --
+        but with the row-buffer classification done in array form: requests
+        are stably grouped by (channel, bank), each compared against its
+        predecessor in the same bank (the first against the open-row table),
+        and the table updated with each bank's last row (see
+        :meth:`classify_batch`, which holds that logic).
+        """
+        addresses = addresses.astype(np.int64, copy=False).ravel()
+        if addresses.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        row_hit = self.classify_batch(addresses, is_write, size_bytes)
+        return self.latencies_from_classification(row_hit, size_bytes)
+
+    def latencies_from_classification(
+        self, row_hit: np.ndarray, size_bytes: int = 64
+    ) -> np.ndarray:
+        """Latencies for an already-classified batch under *this* config's
+        timing parameters.  Split out so one :meth:`classify_batch` pass can
+        be priced under several timing configurations."""
+        cfg = self.config
+        bursts = max(1, (size_bytes + cfg.burst_bytes - 1) // cfg.burst_bytes)
+        per_access = (bursts - 1) * cfg.t_burst
+        return np.where(
+            row_hit, cfg.row_hit_latency + per_access, cfg.row_miss_latency + per_access
+        ).astype(np.int64)
 
     def bandwidth_cycles(self, total_bytes: int) -> float:
         """Minimum cycles needed to move ``total_bytes`` at peak bandwidth."""

@@ -290,7 +290,24 @@ class VectorCache:
 
     def take_evictions(self) -> np.ndarray:
         """Line addresses evicted by the last ``collect_evictions`` batch
-        (drains the buffer)."""
+        (drains the buffer).
+
+        **Ordering guarantee: set equality, not per-access order.**  Hot-set
+        groups (more than :data:`_HOT_SET_THRESHOLD` lines on one set) are
+        replayed before the all-distinct-sets rounds, so the buffer's order
+        can differ from the order a per-access scalar replay would evict in.
+        The *multiset* of evicted lines is always identical to the scalar
+        reference: eviction decisions are local to a set (victim choice reads
+        only that set's ways, and per-set request order is preserved by both
+        the hot-set replay and the round schedule), so reordering whole sets
+        against each other cannot change which lines each set evicts.  That
+        is sufficient for the only consumer, inclusive L1 back-invalidation:
+        ``invalidate_batch`` drops the L1 copy of every listed line, and
+        between a batch's first eviction and the batch's end no L1 fill can
+        interleave (L1 traffic only originates from core accesses, never from
+        the engine-side batch), so dropping the lines in any order leaves the
+        same L1 state.  ``tests/test_memory.py`` pins both properties against
+        the scalar reference."""
         buffer, self._evictions_buffer = self._evictions_buffer, None
         if not buffer:
             return np.zeros(0, dtype=np.int64)

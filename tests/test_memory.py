@@ -7,6 +7,8 @@ fixtures, so every behavioural assertion doubles as a parity check.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.isa import DataType
 from repro.memory import (
@@ -368,6 +370,128 @@ class TestDRAMBatch:
         dram = DRAMModel()
         assert dram.access_batch(np.zeros(0, dtype=np.int64)).size == 0
         assert dram.stats.reads == 0
+
+
+#: one batch of the access stream: burst-unit addresses (a tight universe so
+#: channels, banks and rows all collide), one transfer size, read or write
+_dram_chunk = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=0, max_size=24),
+    st.sampled_from([16, 64, 128, 256]),
+    st.booleans(),
+)
+
+
+class TestDRAMBatchSeams:
+    """Satellite: the batched DRAM path agrees with a scalar ``access``
+    replay *across* batch boundaries -- open rows carried from one batch to
+    the next, mixed transfer sizes, reads interleaved with writes."""
+
+    @settings(deadline=None, max_examples=50)
+    @given(chunks=st.lists(_dram_chunk, min_size=1, max_size=6))
+    def test_consecutive_batches_match_scalar_replay(self, chunks):
+        batched, serial = DRAMModel(), DRAMModel()
+        for units, size_bytes, is_write in chunks:
+            addresses = np.asarray(units, dtype=np.int64) * 64
+            expected = [
+                serial.access(int(a), is_write=is_write, size_bytes=size_bytes)
+                for a in addresses
+            ]
+            actual = batched.access_batch(addresses, is_write=is_write, size_bytes=size_bytes)
+            assert actual.tolist() == expected
+        assert vars(batched.stats) == vars(serial.stats)
+        assert batched._open_rows == serial._open_rows
+
+    def test_classification_is_timing_independent(self):
+        """Structure-equal configs classify a stream identically, so one
+        ``classify_batch`` pass can be re-priced under many timing variants
+        -- the seam the config-batched replay engine leans on."""
+        base = DRAMConfig()
+        slow = DRAMConfig(t_cas=60, t_rcd=70, t_rp=70, t_burst=12)
+        assert slow.structure == base.structure
+
+        classifier = DRAMModel(base)
+        direct = DRAMModel(slow)
+        pricer = DRAMModel(slow)  # stateless pricing helper
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            chunk = ((rng.integers(0, 1 << 16, size=40) // 64) * 64).astype(np.int64)
+            row_hit = classifier.classify_batch(chunk)
+            repriced = pricer.latencies_from_classification(row_hit, 64)
+            assert repriced.tolist() == direct.access_batch(chunk).tolist()
+        assert classifier.stats.row_hits == direct.stats.row_hits
+        assert classifier._open_rows == direct._open_rows
+
+
+class TestEvictionParity:
+    """Satellite: ``take_evictions`` may reorder against a per-access replay
+    (hot sets replay first) but always yields the scalar reference's eviction
+    *multiset*, and inclusive back-invalidation lands on the same L1 state."""
+
+    @staticmethod
+    def _conflict_addresses(num_sets, line_bytes):
+        # Twelve lines on set 0 (above the hot-set replay threshold of 8)
+        # interleaved with three conflicting lines on each of sets 1..8.
+        hot = [(k * num_sets) * line_bytes for k in range(12)]
+        spread = [
+            (k * num_sets + s) * line_bytes for s in range(1, 9) for k in range(3)
+        ]
+        interleaved = []
+        for i in range(max(len(hot), len(spread))):
+            if i < len(spread):
+                interleaved.append(spread[i])
+            if i < len(hot):
+                interleaved.append(hot[i])
+        return interleaved
+
+    def test_eviction_multiset_matches_scalar_reference(self):
+        cfg = CacheConfig(name="T", size_bytes=8 * 1024, ways=2)
+        addrs = self._conflict_addresses(cfg.num_sets, cfg.line_bytes)
+        vec, ref = VectorCache(cfg), Cache(cfg)
+
+        hits = vec.access_batch(np.array(addrs, dtype=np.int64), collect_evictions=True)
+        evictions = vec.take_evictions()
+
+        ref_hits, ref_evictions = [], []
+        for a in addrs:
+            ref_hits.append(ref.access(a))
+            if ref.last_eviction is not None:
+                ref_evictions.append(ref.last_eviction)
+
+        assert len(ref_evictions) >= 10  # the stream really causes evictions
+        assert hits.tolist() == ref_hits
+        assert sorted(evictions.tolist()) == sorted(ref_evictions)
+        assert vec.valid_line_count() == ref.valid_line_count()
+        assert all(vec.probe(a) == ref.probe(a) for a in addrs)
+
+    def test_back_invalidation_leaves_identical_l1_state(self):
+        scalar = CacheHierarchy()
+        vector = VectorCacheHierarchy()
+        num_sets = scalar.l2.config.num_sets
+        line = scalar.line_bytes
+
+        # Fill set 0's storage ways through the core so the lines sit in L1
+        # *and* L2; the engine batch then evicts them from L2, which must
+        # back-invalidate the L1 copies in both implementations.
+        warm = [(k * num_sets) * line for k in range(scalar.l2.config.ways)]
+        batch = np.array(
+            [(k * num_sets) * line for k in range(4, 16)]
+            + [(k * num_sets + s) * line for k in range(3) for s in range(1, 5)],
+            dtype=np.int64,
+        )
+        for hierarchy in (scalar, vector):
+            for address in warm:
+                hierarchy.core_access(address)
+        assert all(scalar.l1d.probe(a) for a in warm)
+
+        assert vector.vector_block_access(batch) == scalar.vector_block_access(batch)
+        assert not any(scalar.l1d.probe(a) for a in warm)  # victims invalidated
+        for a in warm:
+            assert vector.l1d.probe(a) == scalar.l1d.probe(a)
+            assert vector.l2.probe(a) == scalar.l2.probe(a)
+        assert vector.l1d.valid_line_count() == scalar.l1d.valid_line_count()
+        assert vars(vector.l2.stats) == vars(scalar.l2.stats)
+        assert vars(vector.llc.stats) == vars(scalar.llc.stats)
+        assert vars(vector.dram.stats) == vars(scalar.dram.stats)
 
 
 class TestEngineSelection:

@@ -249,9 +249,10 @@ class TestCaptureCounting:
         assert outcome.result.to_dict() == result.to_dict()
         assert outcome.spills == spills
 
-    def test_resolved_groups_split_per_job_for_the_pool(self, tmp_path):
+    def test_resolved_groups_split_per_partition_for_the_pool(self, tmp_path, monkeypatch):
         """A single-kernel multi-config sweep with a warm trace store must
-        not serialize on one worker: resolved groups are split per job,
+        not serialize on one worker: resolved groups are split into
+        batched-replay partitions (per job with ``REPRO_BATCHED_REPLAY=0``),
         while a group that still needs its capture stays whole."""
         store = ResultStore(tmp_path)
         jobs = SweepSpec(
@@ -262,10 +263,18 @@ class TestCaptureCounting:
 
         engine = ParallelSweepEngine(jobs=4, store=store)
         tasks = engine._split_resolved_groups(engine._resolve_groups(jobs[1:]))
-        # Trace already stored: one task per remaining job, payload decoded
-        # once in the parent, capture-needed groups absent entirely.
-        assert [len(group) for _, group, _, _ in tasks] == [1] * (len(jobs) - 1)
+        # Trace already stored: all remaining jobs share one register-file
+        # geometry, so they form a single batched-replay task with the
+        # payload decoded once in the parent.
+        assert [len(group) for _, group, _, _ in tasks] == [len(jobs) - 1]
         assert all(trace is not None and payload is None for _, _, trace, payload in tasks)
+
+        # The escape hatch restores the historical per-job split.
+        monkeypatch.setenv("REPRO_BATCHED_REPLAY", "0")
+        legacy = ParallelSweepEngine(jobs=4, store=store)
+        legacy_tasks = legacy._split_resolved_groups(legacy._resolve_groups(jobs[1:]))
+        assert [len(group) for _, group, _, _ in legacy_tasks] == [1] * (len(jobs) - 1)
+        monkeypatch.delenv("REPRO_BATCHED_REPLAY")
 
         cold = ParallelSweepEngine(jobs=4, store=ResultStore(tmp_path / "cold"))
         cold_tasks = cold._split_resolved_groups(cold._resolve_groups(jobs))
@@ -274,6 +283,7 @@ class TestCaptureCounting:
 
         outcomes = engine.run_jobs(jobs)
         assert engine.traces_captured == 0
+        assert engine.batched_replays == 1
         serial = ParallelSweepEngine(jobs=1).run_jobs(jobs)
         for job in jobs:
             assert outcomes[job].result.to_dict() == serial[job].result.to_dict()
@@ -290,7 +300,11 @@ class TestCaptureCounting:
         assert len(tasks) == 1  # capture-needed group: whole, pool starved
         resolved = engine._split_resolved_groups(engine._capture_starved_groups(tasks))
         assert engine.traces_captured == 1
-        assert len(resolved) == len(jobs)  # replays fan out after capture
+        # After capture the replays fan out per batched-replay partition;
+        # every scheme shares one register-file geometry here, so the group
+        # stays one batched task (one per job with REPRO_BATCHED_REPLAY=0).
+        assert len(resolved) == 1
+        assert len(resolved[0][1]) == len(jobs)
 
         outcomes = ParallelSweepEngine(jobs=4, store=ResultStore(tmp_path / "e2e")).run_jobs(jobs)
         serial = ParallelSweepEngine(jobs=1).run_jobs(jobs)
