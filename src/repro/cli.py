@@ -1,4 +1,5 @@
-"""Unified experiment CLI: ``python -m repro {list,run,trace,cache,serve}``.
+"""Unified experiment CLI:
+``python -m repro {list,run,trace,cache,serve,queue,worker}``.
 
 Every table/figure of the paper is a registered experiment; ``run`` executes
 one end to end (sharded over worker processes, answered from the persistent
@@ -39,7 +40,22 @@ Multi-machine sweeps share one cache through the HTTP cache service::
 With a remote cache configured, reads try the local directory first and
 fall through to the service (populating the local tier); writes go to
 both.  An unreachable or failing service degrades to local-only operation
-after a single warning.  ``cache`` then reports both tiers.
+after a single warning.  ``cache`` then reports both tiers (including the
+coordinator queue, when one is active); ``cache sync`` bulk-pushes local
+entries the service is missing.
+
+The same service doubles as a sweep *coordinator* (fleet mode)::
+
+    python -m repro serve --port 8750 --token s3cret   # coordinator
+    python -m repro queue figure7 --coordinator http://cachehost:8750 \
+        --token s3cret
+    python -m repro worker --coordinator http://cachehost:8750 \
+        --token s3cret --drain                          # on N machines
+
+``queue`` expands an experiment into leaseable partitions; each
+``worker`` drains them through the ordinary sweep engine, publishing
+results via the shared store, so the union of the fleet's work is
+bit-identical to a single-machine run.
 """
 
 from __future__ import annotations
@@ -48,6 +64,7 @@ import argparse
 import csv
 import io
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -297,7 +314,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _print_remote_status(store: ResultStore) -> None:
-    """One status line for the remote tier, when one is configured."""
+    """Status lines for the remote tier, when one is configured."""
     remote = store.remote
     if remote is None:
         return
@@ -305,24 +322,79 @@ def _print_remote_status(store: ResultStore) -> None:
     if stats is None:
         print(f"Remote: {remote.base_url} (unreachable)")
         return
+    auth_note = ", token auth" if stats.get("auth") else ""
     print(
         f"Remote: {remote.base_url} ({stats.get('entries', 0)} entries, "
         f"{stats.get('hits_served', 0)} hits served, "
-        f"{stats.get('puts', 0)} puts accepted)"
+        f"{stats.get('puts', 0)} puts accepted{auth_note})"
     )
+    queue = stats.get("queue")
+    if isinstance(queue, dict):
+        print(
+            f"Queue:  {queue.get('pending', 0)} pending, "
+            f"{queue.get('leased', 0)} leased, "
+            f"{queue.get('completed', 0)} completed "
+            f"({queue.get('requeued', 0)} requeued), "
+            f"{queue.get('workers', 0)} active workers, "
+            f"lease TTL {queue.get('lease_ttl_s', 0)}s"
+        )
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = _store_for(args)
-    if getattr(args, "action", "info") == "clear":
+    action = getattr(args, "action", "info")
+    if action == "clear":
         removed = store.clear()
         print(f"removed {removed} cached results from {store.root}")
         if store.remote is not None:
             print(f"note: remote tier at {store.remote.base_url} left untouched")
+    elif action == "sync":
+        return _cache_sync(store)
     else:
         print(f"Cache: {store.root} ({len(store)} entries)")
         _print_remote_status(store)
     return 0
+
+
+def _cache_sync(store: ResultStore, chunk: int = 200) -> int:
+    """Bulk-push local entries the remote tier is missing.
+
+    One ``POST /v1/keys`` existence probe plus one ``POST /v1/entries``
+    upload per ``chunk`` keys -- warming a fresh coordinator from a laptop
+    costs a handful of round trips, not one PUT per record.
+    """
+    remote = store.remote
+    if remote is None:
+        raise SystemExit("cache sync: no remote cache configured "
+                         "(--remote-cache or $REPRO_REMOTE_CACHE)")
+    probe = getattr(remote, "contains_batch", None)
+    push = getattr(remote, "store_batch", None)
+    if probe is None or push is None:
+        raise SystemExit("cache sync: the remote tier does not support bulk transfer")
+    local = getattr(store.backend, "local", store.backend)
+    keys = sorted(local.keys()) if hasattr(local, "keys") else []
+    pushed = present = failed = 0
+    for start in range(0, len(keys), chunk):
+        batch = keys[start : start + chunk]
+        have = probe(batch)
+        missing = [key for key in batch if not have.get(key)]
+        present += len(batch) - len(missing)
+        records = {}
+        for key in missing:
+            record = local.load(key)
+            if isinstance(record, dict):
+                records[key] = record
+        stored = push(records) if records else []
+        pushed += len(stored)
+        failed += len(records) - len(stored)
+        if getattr(remote, "dead", False):
+            print(f"cache sync: remote went unreachable after {pushed} uploads")
+            return 1
+    print(
+        f"cache sync: {pushed} entries pushed to {remote.base_url} "
+        f"({present} already present, {failed} rejected, {len(keys)} local)"
+    )
+    return 0 if failed == 0 else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -461,18 +533,33 @@ def _print_config_batching(sweep_name: str, kernel: str, scale: float) -> None:
     print(format_table(["trace", "configs", "batched replays"], rows))
 
 
+def _token_for(args: argparse.Namespace) -> Optional[str]:
+    return getattr(args, "token", None) or os.environ.get("REPRO_CACHE_TOKEN") or None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .core.cache_service import CacheServer
 
     root = Path(args.cache_dir) if args.cache_dir else ResultStore.default_dir()
+    token = _token_for(args)
     try:
-        server = CacheServer((args.host, args.port), root=root, verbose=args.verbose)
+        server = CacheServer(
+            (args.host, args.port),
+            root=root,
+            verbose=args.verbose,
+            token=token,
+            lease_ttl_s=args.lease_ttl,
+        )
     except (OSError, OverflowError) as error:
         # Port in use, privileged/out-of-range port, unresolvable host, ...
         raise SystemExit(f"serve: cannot bind {args.host}:{args.port}: {error}") from None
     host, port = server.server_address[:2]
     print(f"repro cache service listening on http://{host}:{port}")
     print(f"store: {root} ({len(server.backend)} entries)")
+    print(
+        f"fleet: job queue enabled (lease TTL {server.queue.lease_ttl_s:g}s), "
+        f"auth {'on' if token else 'off (mutations open; set --token)'}"
+    )
     print("point workers at it with --remote-cache or $REPRO_REMOTE_CACHE")
     try:
         server.serve_forever()
@@ -480,6 +567,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         server.server_close()
+    return 0
+
+
+def _coordinator_url_for(args: argparse.Namespace) -> str:
+    url = getattr(args, "coordinator", None) or _remote_url_for(args)
+    if not url:
+        raise SystemExit(
+            f"{args.command}: pass --coordinator URL (or set $REPRO_REMOTE_CACHE)"
+        )
+    return url
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from .core.coordinator import CoordinatorClient, CoordinatorError
+
+    url = _coordinator_url_for(args)
+    client = CoordinatorClient(url, token=_token_for(args))
+    try:
+        summary = client.enqueue(args.experiment, scale=args.scale)
+    except CoordinatorError as error:
+        raise SystemExit(f"queue: coordinator rejected the request: {error}") from None
+    if summary is None:
+        raise SystemExit(f"queue: coordinator {url} unreachable")
+    print(
+        f"queued {summary.get('queued', 0)} partitions of "
+        f"{args.experiment} ({summary.get('jobs', 0)} jobs, "
+        f"{summary.get('already_queued', 0)} already queued) on {client.base_url}"
+    )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .core.coordinator import CoordinatorError
+    from .worker import run_worker, write_report
+
+    url = _coordinator_url_for(args)
+    try:
+        report = run_worker(
+            url,
+            cache_dir=args.cache_dir,
+            jobs=args.jobs,
+            worker_id=args.id,
+            token=_token_for(args),
+            poll_s=args.poll,
+            drain=args.drain,
+            max_partitions=args.max_partitions,
+            log=lambda message: print(message, file=sys.stderr),
+        )
+    except CoordinatorError as error:
+        raise SystemExit(f"worker: coordinator rejected the request: {error}") from None
+    if args.summary:
+        write_report(report, args.summary)
+    simulated = len(report.simulated_keys())
+    print(
+        f"worker {report.worker}: {report.acked} partitions acked "
+        f"({report.stale_acks} stale, {report.mismatched} mismatched), "
+        f"{simulated} jobs simulated"
+    )
+    if report.coordinator_lost:
+        print(f"worker {report.worker}: coordinator lost; degraded to local-only")
+        # Work already done is safe (store tiers); signal the supervisor
+        # only when this run achieved nothing at all.
+        return 1 if not report.partitions else 0
     return 0
 
 
@@ -669,8 +819,15 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
     run.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     run.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
-    cache = sub.add_parser("cache", help="show or clear the persistent result cache")
-    cache.add_argument("action", nargs="?", choices=("info", "clear"), default="info")
+    cache = sub.add_parser(
+        "cache", help="show, clear or sync the persistent result cache"
+    )
+    cache.add_argument(
+        "action", nargs="?", choices=("info", "clear", "sync"), default="info",
+        help="info: report tiers (and the coordinator queue); "
+        "clear: delete local entries; sync: bulk-push local entries the "
+        "remote service is missing",
+    )
     cache.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     cache.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
@@ -698,14 +855,82 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
     trace.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
     serve = sub.add_parser(
-        "serve", help="serve the result cache over HTTP for multi-machine sweeps"
+        "serve",
+        help="serve the result cache over HTTP and coordinate fleet sweeps",
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     serve.add_argument(
         "--port", type=int, default=8750, help="port to listen on (default: 8750; 0 = ephemeral)"
     )
     serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
+    serve.add_argument(
+        "--token", default=None,
+        help="require this token on every mutating request "
+        "(default: $REPRO_CACHE_TOKEN; unset leaves mutations open)",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="SECONDS",
+        help="seconds a leased partition survives without a worker "
+        "heartbeat before it is requeued (default: 60)",
+    )
     serve.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+    queuep = sub.add_parser(
+        "queue", help="enqueue an experiment's partitions on a coordinator"
+    )
+    queuep.add_argument(
+        "experiment", help=f"experiment to enqueue ({', '.join(experiment_names())})"
+    )
+    queuep.add_argument(
+        "--coordinator", metavar="URL", default=None,
+        help="coordinator URL (default: --remote-cache / $REPRO_REMOTE_CACHE)",
+    )
+    queuep.add_argument(
+        "--scale", type=float, default=0.5,
+        help="dataset scale for scale-honouring experiments (default 0.5)",
+    )
+    queuep.add_argument(
+        "--token", default=None,
+        help="coordinator auth token (default: $REPRO_CACHE_TOKEN)",
+    )
+    queuep.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    queuep.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+    workerp = sub.add_parser(
+        "worker", help="drain leased sweep partitions from a coordinator"
+    )
+    workerp.add_argument(
+        "--coordinator", metavar="URL", default=None,
+        help="coordinator URL (default: --remote-cache / $REPRO_REMOTE_CACHE)",
+    )
+    workerp.add_argument(
+        "--jobs", type=int, default=default_job_count(),
+        help="worker processes per partition replay (default: cores)",
+    )
+    workerp.add_argument("--id", default=None, help="worker id (default: host-pid)")
+    workerp.add_argument(
+        "--token", default=None,
+        help="coordinator auth token (default: $REPRO_CACHE_TOKEN)",
+    )
+    workerp.add_argument(
+        "--poll", type=float, default=1.0, metavar="SECONDS",
+        help="idle poll interval while the queue is empty (default: 1)",
+    )
+    workerp.add_argument(
+        "--drain", action="store_true",
+        help="exit once the queue is fully drained instead of polling forever",
+    )
+    workerp.add_argument(
+        "--max-partitions", type=int, default=None, metavar="N",
+        help="stop after processing N partitions",
+    )
+    workerp.add_argument(
+        "--summary", default=None, metavar="PATH",
+        help="write a JSON report of processed partitions (and which jobs "
+        "this worker actually simulated) to PATH",
+    )
+    workerp.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    workerp.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
     legacy_clear = sub.add_parser("clear-cache", help="(deprecated) alias for `cache clear`")
     legacy_clear.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
@@ -719,6 +944,10 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
         return _cmd_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "queue":
+        return _cmd_queue(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "clear-cache":
         args.action = "clear"
         return _cmd_cache(args)

@@ -6,15 +6,29 @@ fleet stops re-simulating jobs any member has already computed.  The wire
 protocol is deliberately tiny -- JSON records addressed by hex cache key,
 stdlib only on both sides:
 
-====================  =====================================================
-``GET  /v1/entry/K``  200 + the record, or 404 on a miss
-``HEAD /v1/entry/K``  200 / 404 without a body
-``PUT  /v1/entry/K``  204; truncated or non-JSON bodies are rejected with
-                      400 and never stored (uploads are atomic)
-``GET  /v1/stats``    entry count plus request counters, as JSON
-``POST /v1/keys``     ``{"keys": [...]}`` -> ``{"present": {key: bool}}``
-                      (batched existence probe)
-====================  =====================================================
+=====================  ====================================================
+``GET  /v1/entry/K``   200 + the record, or 404 on a miss
+``HEAD /v1/entry/K``   200 / 404 without a body
+``PUT  /v1/entry/K``   204; truncated or non-JSON bodies are rejected with
+                       400 and never stored (uploads are atomic)
+``GET  /v1/stats``     entry count, request counters and the job-queue
+                       snapshot, as JSON
+``POST /v1/keys``      ``{"keys": [...]}`` -> ``{"present": {key: bool}}``
+                       (batched existence probe)
+``POST /v1/entries``   ``{"get": [keys], "put": {key: record}}`` ->
+                       ``{"entries": {key: record-or-null}, "stored":
+                       [keys]}`` (bulk transfer: many keys, one round trip)
+``POST /v1/queue/*``   the sweep-coordinator surface
+                       (enqueue/lease/ack/nack/heartbeat); see
+                       :mod:`repro.core.coordinator`
+=====================  ====================================================
+
+When the server is started with a token (``--token`` /
+``$REPRO_CACHE_TOKEN``), every **mutating** request -- ``PUT /v1/entry``,
+``POST /v1/entries`` bodies carrying ``put``, and all ``/v1/queue``
+operations -- must present it (``Authorization: Bearer <token>``) or is
+answered 401; tokens compare in constant time.  Reads stay open so
+status probes and read-only mirrors keep working.
 
 The server persists through a :class:`~repro.core.store_backend.LocalDirBackend`
 (atomic writes, corruption-dropping reads), so killing it mid-request can
@@ -31,6 +45,7 @@ without a restart.
 
 from __future__ import annotations
 
+import hmac
 import json
 import os
 import re
@@ -44,6 +59,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Iterable, Optional
 
+from .coordinator import DEFAULT_LEASE_TTL_S, JobQueue
 from .store_backend import LocalDirBackend, StoreBackend
 
 __all__ = [
@@ -166,10 +182,34 @@ class CacheRequestHandler(BaseHTTPRequestHandler):
         self.server.count("bad_requests")
         self._send_json(400, {"error": message})
 
+    def _authorized(self) -> bool:
+        """Whether this request may mutate server state.
+
+        Constant-time comparison: a timing oracle on the token would let
+        an attacker recover it byte by byte.
+        """
+        token = self.server.token
+        if not token:
+            return True
+        header = self.headers.get("Authorization", "")
+        presented = header[len("Bearer "):] if header.startswith("Bearer ") else ""
+        return hmac.compare_digest(presented.encode("utf-8"), token.encode("utf-8"))
+
+    def _unauthorized(self) -> None:
+        """401 for a mutating request without the token.  Like
+        :meth:`_reject`, the connection drops because the request body may
+        still sit unread on the socket."""
+        self.close_connection = True
+        self.server.count("unauthorized")
+        self._send_json(401, {"error": "missing or invalid token"})
+
     def do_PUT(self) -> None:
         key = self._entry_key()
         if key is None:
             self._reject(f"bad route or key: {self.path}")
+            return
+        if not self._authorized():
+            self._unauthorized()
             return
         body = self._read_body()
         record = None
@@ -187,17 +227,30 @@ class CacheRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(500, {"error": "backend write failed"})
 
-    def do_POST(self) -> None:
-        if self.path != "/v1/keys":
-            self._reject(f"bad route: {self.path}")
-            return
+    def _read_json_body(self) -> Optional[dict]:
+        """The request body as a JSON object, or None when unusable."""
         body = self._read_body()
-        keys = None
-        if body is not None:
-            try:
-                keys = json.loads(body).get("keys")
-            except (ValueError, AttributeError):
-                keys = None
+        if body is None:
+            return None
+        try:
+            record = json.loads(body)
+        except ValueError:
+            return None
+        return record if isinstance(record, dict) else None
+
+    def do_POST(self) -> None:
+        if self.path == "/v1/keys":
+            self._post_keys()
+        elif self.path == "/v1/entries":
+            self._post_entries()
+        elif self.path.startswith("/v1/queue/"):
+            self._post_queue()
+        else:
+            self._reject(f"bad route: {self.path}")
+
+    def _post_keys(self) -> None:
+        payload = self._read_json_body()
+        keys = payload.get("keys") if payload is not None else None
         if not isinstance(keys, list):
             self._reject('body must be {"keys": [...]}')
             return
@@ -207,6 +260,106 @@ class CacheRequestHandler(BaseHTTPRequestHandler):
             if isinstance(key, str)
         }
         self._send_json(200, {"present": present})
+
+    def _post_entries(self) -> None:
+        """Bulk transfer: many GETs and/or PUTs in one round trip.
+
+        The body is fully read before the auth decision, so a 401 here is
+        keep-alive safe -- and only bodies carrying ``put`` records need
+        the token at all (bulk reads stay as open as single GETs).
+        """
+        payload = self._read_json_body()
+        if payload is None:
+            self._reject('body must be {"get": [...], "put": {...}}')
+            return
+        get_keys = payload.get("get", [])
+        puts = payload.get("put", {})
+        if not isinstance(get_keys, list) or not isinstance(puts, dict):
+            self._reject('body must be {"get": [...], "put": {...}}')
+            return
+        if puts and not self._authorized():
+            self._unauthorized()
+            return
+        entries = {}
+        for key in get_keys:
+            if isinstance(key, str) and _KEY_RE.match(key):
+                entries[key] = self.backend.load(key)
+        served = sum(1 for record in entries.values() if record is not None)
+        self.server.count("entries_served", served)
+        stored = []
+        for key, record in puts.items():
+            if (
+                isinstance(key, str)
+                and _KEY_RE.match(key)
+                and isinstance(record, dict)
+                and self.backend.store(key, record)
+            ):
+                stored.append(key)
+        self.server.count("entries_stored", len(stored))
+        self._send_json(200, {"entries": entries, "stored": stored})
+
+    def _post_queue(self) -> None:
+        """The coordinator surface; every operation mutates queue state,
+        so all of them require the token (checked before the body read --
+        hence the connection-dropping 401)."""
+        if not self._authorized():
+            self._unauthorized()
+            return
+        action = self.path[len("/v1/queue/"):]
+        payload = self._read_json_body()
+        if payload is None:
+            self._reject("body must be a JSON object")
+            return
+        queue = self.server.queue
+        if action == "enqueue":
+            experiment = payload.get("experiment")
+            if not isinstance(experiment, str):
+                self._send_json(400, {"error": 'missing "experiment"'})
+                return
+            try:
+                scale = float(payload.get("scale", 0.5))
+                summary = queue.enqueue(experiment, scale)
+            except (KeyError, TypeError, ValueError) as error:
+                self._send_json(400, {"error": str(error)})
+                return
+            self.server.count("enqueues")
+            self._send_json(200, summary)
+            return
+        worker = payload.get("worker")
+        if not isinstance(worker, str) or not worker:
+            self._send_json(400, {"error": 'missing "worker"'})
+            return
+        if action == "lease":
+            self.server.count("leases")
+            partition, drained = queue.lease(worker)
+            self._send_json(
+                200,
+                {
+                    "partition": partition,
+                    "drained": drained,
+                    "lease_ttl_s": queue.lease_ttl_s,
+                },
+            )
+        elif action == "ack":
+            ok, reason = queue.ack(worker, payload.get("partition"))
+            if ok:
+                self.server.count("acks")
+                self._send_json(200, {"ok": True})
+            else:
+                # 409, not 400: the request was well-formed, the *lease*
+                # state no longer matches (expired, requeued, double-ack).
+                self._send_json(409, {"ok": False, "error": reason})
+        elif action == "nack":
+            requeued = queue.nack(
+                worker, payload.get("partition"), str(payload.get("reason", ""))
+            )
+            self.server.count("nacks")
+            self._send_json(200, {"requeued": requeued})
+        elif action == "heartbeat":
+            self.server.count("heartbeats")
+            self._send_json(200, {"ok": True, "leases": queue.heartbeat(worker)})
+        else:
+            self._send_json(400, {"error": f"unknown queue action {action!r}"})
 
 
 class CacheServer(ThreadingHTTPServer):
@@ -226,6 +379,9 @@ class CacheServer(ThreadingHTTPServer):
         root: Optional[str | Path] = None,
         backend: Optional[StoreBackend] = None,
         verbose: bool = False,
+        token: Optional[str] = None,
+        queue: Optional[JobQueue] = None,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     ):
         if backend is None:
             if root is None:
@@ -233,6 +389,10 @@ class CacheServer(ThreadingHTTPServer):
             backend = LocalDirBackend(root)
         self.backend = backend
         self.verbose = verbose
+        #: shared secret gating mutating requests; None/"" leaves them open
+        self.token = token or None
+        #: the sweep-coordinator queue behind /v1/queue/*
+        self.queue = queue if queue is not None else JobQueue(lease_ttl_s=lease_ttl_s)
         self._counter_lock = threading.Lock()
         self._counters = {
             "gets": 0,
@@ -241,6 +401,14 @@ class CacheServer(ThreadingHTTPServer):
             "puts": 0,
             "heads": 0,
             "bad_requests": 0,
+            "unauthorized": 0,
+            "entries_served": 0,
+            "entries_stored": 0,
+            "enqueues": 0,
+            "leases": 0,
+            "acks": 0,
+            "nacks": 0,
+            "heartbeats": 0,
         }
         super().__init__(address, CacheRequestHandler)
 
@@ -249,9 +417,9 @@ class CacheServer(ThreadingHTTPServer):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
-    def count(self, name: str) -> None:
+    def count(self, name: str, amount: int = 1) -> None:
         with self._counter_lock:
-            self._counters[name] += 1
+            self._counters[name] += amount
 
     def stats(self) -> dict:
         with self._counter_lock:
@@ -259,6 +427,8 @@ class CacheServer(ThreadingHTTPServer):
         return {
             "entries": len(self.backend),
             "root": str(getattr(self.backend, "root", "")),
+            "auth": self.token is not None,
+            "queue": self.queue.stats(),
             **counters,
         }
 
@@ -305,11 +475,15 @@ class RemoteStore(StoreBackend):
         base_url: str,
         timeout: float = 5.0,
         reprobe_interval: Optional[float] = None,
+        token: Optional[str] = None,
     ):
         if "://" not in base_url:
             base_url = f"http://{base_url}"
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: shared secret for servers running with --token; defaults to
+        #: $REPRO_CACHE_TOKEN so fleet workers pick it up with no plumbing
+        self.token = token if token is not None else os.environ.get("REPRO_CACHE_TOKEN")
         self.dead = False
         if reprobe_interval is None:
             reprobe_interval = DEFAULT_REPROBE_INTERVAL_S
@@ -340,6 +514,8 @@ class RemoteStore(StoreBackend):
         )
         if body is not None:
             request.add_header("Content-Type", "application/json")
+        if self.token:
+            request.add_header("Authorization", f"Bearer {self.token}")
         return urllib.request.urlopen(request, timeout=self.timeout)
 
     def _fail(self, error: Exception) -> None:
@@ -476,6 +652,59 @@ class RemoteStore(StoreBackend):
         except (HTTPException, OSError) as error:
             self._fail(error)
             return False
+
+    def load_batch(self, keys: Iterable[str]) -> dict[str, Optional[dict]]:
+        """Fetch many records in one ``POST /v1/entries`` round trip.
+
+        Returns ``key -> record`` for hits and ``key -> None`` for
+        misses; an empty dict when the store is dead or the transfer
+        failed (so callers can distinguish "no information" from "the
+        service says these are absent")."""
+        keys = list(keys)
+        if self.dead or not keys:
+            return {}
+        body = json.dumps({"get": keys}).encode("utf-8")
+        try:
+            with self._open("POST", "/v1/entries", body=body) as response:
+                entries = json.loads(response.read().decode("utf-8"))["entries"]
+        except (HTTPException, OSError, ValueError, KeyError, TypeError) as error:
+            self._fail(error)
+            return {}
+        if not isinstance(entries, dict):
+            self._fail(ValueError("entries response is not a JSON object"))
+            return {}
+        records: dict[str, Optional[dict]] = {}
+        for key in keys:
+            record = entries.get(key)
+            if isinstance(record, dict):
+                records[key] = record
+                self.hits += 1
+            else:
+                records[key] = None
+                self.misses += 1
+        return records
+
+    def store_batch(self, records: dict[str, dict]) -> list[str]:
+        """Upload many records in one round trip; the keys the service
+        accepted (empty when dead or the transfer failed)."""
+        if self.dead or not records:
+            return []
+        body = json.dumps({"put": records}).encode("utf-8")
+        try:
+            with self._open("POST", "/v1/entries", body=body) as response:
+                stored = json.loads(response.read().decode("utf-8"))["stored"]
+        except (HTTPException, OSError, ValueError, KeyError, TypeError) as error:
+            # Includes a 401 on a token-protected server: an operator
+            # problem, not a flaky network, but the remedy is the same --
+            # one warning, then local-only.
+            self._fail(error)
+            return []
+        if not isinstance(stored, list):
+            self._fail(ValueError("stored response is not a list"))
+            return []
+        accepted = [key for key in stored if isinstance(key, str)]
+        self.puts += len(accepted)
+        return accepted
 
     def contains_batch(self, keys: Iterable[str]) -> dict[str, bool]:
         """Which of ``keys`` the service holds, in one round trip."""

@@ -1,0 +1,421 @@
+"""Sweep coordination: the lease-based job queue behind fleet mode.
+
+``python -m repro serve`` embeds a :class:`JobQueue`; ``python -m repro
+queue EXPERIMENT`` enqueues an experiment's partitions on it, and any
+number of ``python -m repro worker`` processes drain them cooperatively:
+
+1. **enqueue** -- the server expands the experiment into deterministic
+   *partitions* (the same batched-replay units the local pool adapter
+   submits, via :func:`repro.experiments.registry.experiment_partitions`)
+   and queues each exactly once, keyed by a content hash of its job
+   cache keys.
+2. **lease** -- a worker takes the next pending partition; the lease
+   holds for ``lease_ttl_s`` seconds, extended by **heartbeat**.  The
+   wire descriptor carries ``(experiment, scale, index, total, keys)``
+   and the worker re-derives the actual :class:`KernelJob` objects from
+   its own registry, verifying the cache keys match -- job cache keys
+   embed the source-tree fingerprint, so a worker running different code
+   can never silently simulate the wrong thing (it nacks instead).
+3. **ack** -- only the current lease holder can complete a partition.
+   An expired lease is requeued for any worker (dead-worker recovery);
+   a late ack from the previous holder is answered ``stale`` and
+   ignored -- results are content-addressed in the shared store, so a
+   double-completed partition is merely redundant, never wrong.
+
+The queue is in-memory (scoped to one coordinator process, like its
+request counters): results and traces persist in the content-addressed
+store, so losing the coordinator loses only *scheduling* state -- re-run
+``repro queue`` and the warm store answers everything already computed.
+
+:class:`CoordinatorClient` is the matching HTTP client with the same
+failure contract as :class:`~repro.core.cache_service.RemoteStore`: the
+first connectivity failure flips it dead after a single
+``RuntimeWarning`` and every later call is an instant no-op -- a worker
+degrades to finishing its current partition locally and exiting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+import warnings
+from collections import deque
+from dataclasses import dataclass
+from http.client import HTTPException
+from typing import Callable, Optional
+
+from .cache import stable_hash
+
+__all__ = [
+    "DEFAULT_LEASE_TTL_S",
+    "CoordinatorClient",
+    "CoordinatorError",
+    "JobQueue",
+    "QueuedPartition",
+    "expand_experiment_keys",
+]
+
+#: default seconds a leased partition stays assigned without a heartbeat
+DEFAULT_LEASE_TTL_S = 60.0
+
+
+def expand_experiment_keys(name: str, scale: float) -> list[list[str]]:
+    """Every partition of an experiment as a list of job cache keys.
+
+    Raises ``KeyError`` for unknown experiments.  Imported lazily so this
+    core module never drags the experiment registry (and with it every
+    figure module) into processes that only serve or probe the cache.
+    """
+    from ..experiments.registry import ExperimentOptions, experiment_partitions
+
+    partitions = experiment_partitions(name, ExperimentOptions(scale=scale))
+    return [[job.cache_key() for job in partition] for partition in partitions]
+
+
+@dataclass
+class QueuedPartition:
+    """One leaseable unit of work: a batched-replay partition of a sweep."""
+
+    id: str
+    experiment: str
+    scale: float
+    index: int
+    total: int
+    keys: list[str]
+    state: str = "pending"  # "pending" | "leased" | "done"
+    worker: Optional[str] = None
+    deadline: float = 0.0
+    attempts: int = 0
+
+    def descriptor(self) -> dict:
+        """The wire form a worker needs to re-derive and verify the jobs."""
+        return {
+            "id": self.id,
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "index": self.index,
+            "total": self.total,
+            "keys": list(self.keys),
+            "attempts": self.attempts,
+        }
+
+
+def _partition_id(experiment: str, scale: float, index: int, keys: list[str]) -> str:
+    return stable_hash(
+        {"experiment": experiment, "scale": scale, "index": index, "keys": keys}
+    )[:16]
+
+
+class JobQueue:
+    """Thread-safe lease/ack queue over experiment partitions.
+
+    All mutation happens under one lock, and every operation first
+    requeues expired leases -- so a dead worker's partition is available
+    again the moment any surviving worker asks, acks after expiry are
+    answered stale, and heartbeats can never resurrect a lease that
+    already lapsed (the stale-heartbeat race).  ``clock`` is injectable
+    for deterministic expiry tests.
+    """
+
+    def __init__(
+        self,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        clock: Callable[[], float] = time.monotonic,
+        expand: Callable[[str, float], list[list[str]]] = expand_experiment_keys,
+    ):
+        self.lease_ttl_s = max(0.001, lease_ttl_s)
+        self._clock = clock
+        self._expand = expand
+        self._lock = threading.Lock()
+        self._partitions: dict[str, QueuedPartition] = {}
+        self._pending: deque[str] = deque()
+        #: worker id -> timestamp of its last lease/ack/heartbeat
+        self._workers: dict[str, float] = {}
+        self.requeued = 0
+        self.completed = 0
+
+    # -- internal (callers hold self._lock) ----------------------------- #
+
+    def _expire(self, now: float) -> None:
+        for partition in self._partitions.values():
+            if partition.state == "leased" and partition.deadline <= now:
+                partition.state = "pending"
+                partition.worker = None
+                self._pending.append(partition.id)
+                self.requeued += 1
+
+    def _active_workers(self, now: float) -> int:
+        horizon = now - self.lease_ttl_s
+        return sum(1 for seen in self._workers.values() if seen > horizon)
+
+    def _drained(self) -> bool:
+        return all(p.state == "done" for p in self._partitions.values())
+
+    # -- operations ----------------------------------------------------- #
+
+    def enqueue(self, experiment: str, scale: float = 0.5) -> dict:
+        """Expand ``experiment`` into partitions and queue the missing ones.
+
+        Idempotent: partitions already pending or leased are skipped, and
+        completed ones are re-queued (cheap -- the content-addressed store
+        answers their jobs without simulation).  Raises ``KeyError`` for
+        unknown experiments; expansion runs outside the lock since it can
+        capture-free but non-trivially walk the registry.
+        """
+        partition_keys = self._expand(experiment, scale)
+        now = self._clock()
+        queued = already = 0
+        with self._lock:
+            self._expire(now)
+            for index, keys in enumerate(partition_keys):
+                pid = _partition_id(experiment, scale, index, keys)
+                existing = self._partitions.get(pid)
+                if existing is not None and existing.state in ("pending", "leased"):
+                    already += 1
+                    continue
+                self._partitions[pid] = QueuedPartition(
+                    id=pid,
+                    experiment=experiment,
+                    scale=scale,
+                    index=index,
+                    total=len(partition_keys),
+                    keys=list(keys),
+                )
+                self._pending.append(pid)
+                queued += 1
+        return {
+            "experiment": experiment,
+            "scale": scale,
+            "partitions": len(partition_keys),
+            "jobs": sum(len(keys) for keys in partition_keys),
+            "queued": queued,
+            "already_queued": already,
+        }
+
+    def lease(self, worker: str) -> tuple[Optional[dict], bool]:
+        """The next pending partition leased to ``worker``, plus whether
+        the queue is fully drained (nothing pending *or* leased)."""
+        now = self._clock()
+        with self._lock:
+            self._expire(now)
+            self._workers[worker] = now
+            while self._pending:
+                partition = self._partitions[self._pending.popleft()]
+                if partition.state != "pending":
+                    continue  # re-leased or completed while queued twice
+                partition.state = "leased"
+                partition.worker = worker
+                partition.deadline = now + self.lease_ttl_s
+                partition.attempts += 1
+                return partition.descriptor(), False
+            return None, self._drained()
+
+    def ack(self, worker: str, partition_id: str) -> tuple[bool, Optional[str]]:
+        """Mark a partition complete; ``(False, reason)`` on a stale ack."""
+        now = self._clock()
+        with self._lock:
+            self._expire(now)
+            self._workers[worker] = now
+            partition = self._partitions.get(partition_id)
+            if partition is None:
+                return False, "unknown partition"
+            if partition.state == "done":
+                return False, "already completed"
+            if partition.state != "leased" or partition.worker != worker:
+                # The lease expired (and possibly moved to another worker)
+                # before this ack arrived: the work is not lost -- results
+                # are in the shared store -- but this worker no longer owns
+                # the completion.
+                return False, "lease not held"
+            partition.state = "done"
+            partition.worker = None
+            self.completed += 1
+            return True, None
+
+    def nack(self, worker: str, partition_id: str, reason: str = "") -> bool:
+        """Return a leased partition to the queue (e.g. version-skew)."""
+        now = self._clock()
+        with self._lock:
+            self._expire(now)
+            self._workers[worker] = now
+            partition = self._partitions.get(partition_id)
+            if (
+                partition is None
+                or partition.state != "leased"
+                or partition.worker != worker
+            ):
+                return False
+            partition.state = "pending"
+            partition.worker = None
+            self._pending.append(partition.id)
+            self.requeued += 1
+            return True
+
+    def heartbeat(self, worker: str) -> int:
+        """Extend every lease ``worker`` still holds; returns how many.
+
+        Expiry runs first, so a heartbeat arriving after a lease lapsed
+        cannot resurrect it -- the partition is already back in the
+        pending queue (or leased to someone else).
+        """
+        now = self._clock()
+        with self._lock:
+            self._expire(now)
+            self._workers[worker] = now
+            extended = 0
+            for partition in self._partitions.values():
+                if partition.state == "leased" and partition.worker == worker:
+                    partition.deadline = now + self.lease_ttl_s
+                    extended += 1
+            return extended
+
+    def stats(self) -> dict:
+        now = self._clock()
+        with self._lock:
+            self._expire(now)
+            states = [p.state for p in self._partitions.values()]
+            return {
+                "lease_ttl_s": self.lease_ttl_s,
+                "pending": states.count("pending"),
+                "leased": states.count("leased"),
+                "completed": self.completed,
+                "requeued": self.requeued,
+                "workers": self._active_workers(now),
+            }
+
+
+class CoordinatorError(RuntimeError):
+    """The coordinator answered, but rejected the request (4xx)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class CoordinatorClient:
+    """HTTP client for the ``/v1/queue`` surface of ``repro serve``.
+
+    Failure contract matches :class:`~repro.core.cache_service.RemoteStore`:
+    the first *connectivity* failure (refused, timeout, 5xx, garbage
+    response) warns once and flips the client dead; every later call
+    returns None instantly.  Application-level rejections (401 bad token,
+    400 unknown experiment, 409 stale ack) raise or report without
+    killing the client -- the service is alive, it just said no.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        worker_id: Optional[str] = None,
+        timeout: float = 10.0,
+        token: Optional[str] = None,
+    ):
+        if "://" not in base_url:
+            base_url = f"http://{base_url}"
+        self.base_url = base_url.rstrip("/")
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.timeout = timeout
+        self.token = token if token is not None else os.environ.get("REPRO_CACHE_TOKEN")
+        self.dead = False
+        self._fail_lock = threading.Lock()
+        #: TTL the server last advertised; drives the heartbeat cadence
+        self.lease_ttl_s = DEFAULT_LEASE_TTL_S
+
+    def _fail(self, error: Exception) -> None:
+        with self._fail_lock:
+            if self.dead:
+                return
+            self.dead = True
+        warnings.warn(
+            f"coordinator {self.base_url} unavailable "
+            f"({type(error).__name__}: {error}); worker degrading to local-only",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _post(self, path: str, payload: dict) -> Optional[dict]:
+        """POST ``payload``; the response dict, or None once dead.
+
+        4xx answers raise :class:`CoordinatorError`; connectivity faults
+        go through the one-warning death instead of raising.
+        """
+        if self.dead:
+            return None
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method="POST"
+        )
+        request.add_header("Content-Type", "application/json")
+        if self.token:
+            request.add_header("Authorization", f"Bearer {self.token}")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                answer = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            if error.code >= 500:
+                self._fail(error)
+                return None
+            try:
+                detail = json.loads(error.read().decode("utf-8"))
+            except ValueError:
+                detail = {}
+            raise CoordinatorError(
+                error.code, detail.get("error", f"HTTP {error.code}")
+            ) from None
+        except (HTTPException, OSError, ValueError) as error:
+            self._fail(error)
+            return None
+        if not isinstance(answer, dict):
+            self._fail(ValueError(f"queue response is not a JSON object: {answer!r:.80}"))
+            return None
+        return answer
+
+    # -- operations ----------------------------------------------------- #
+
+    def enqueue(self, experiment: str, scale: float = 0.5) -> Optional[dict]:
+        return self._post(
+            "/v1/queue/enqueue", {"experiment": experiment, "scale": scale}
+        )
+
+    def lease(self) -> Optional[dict]:
+        """``{"partition": dict-or-None, "drained": bool, ...}`` or None
+        (dead)."""
+        answer = self._post("/v1/queue/lease", {"worker": self.worker_id})
+        if answer is not None:
+            try:
+                self.lease_ttl_s = max(0.001, float(answer.get("lease_ttl_s")))
+            except (TypeError, ValueError):
+                pass
+        return answer
+
+    def ack(self, partition_id: str) -> Optional[str]:
+        """``"ok"``, ``"stale"`` (lease lost before the ack landed), or
+        None once the coordinator is dead."""
+        try:
+            answer = self._post(
+                "/v1/queue/ack",
+                {"worker": self.worker_id, "partition": partition_id},
+            )
+        except CoordinatorError as error:
+            if error.status == 409:
+                return "stale"
+            raise
+        if answer is None:
+            return None
+        return "ok" if answer.get("ok") else "stale"
+
+    def nack(self, partition_id: str, reason: str = "") -> bool:
+        answer = self._post(
+            "/v1/queue/nack",
+            {"worker": self.worker_id, "partition": partition_id, "reason": reason},
+        )
+        return bool(answer and answer.get("requeued"))
+
+    def heartbeat(self) -> bool:
+        answer = self._post("/v1/queue/heartbeat", {"worker": self.worker_id})
+        return answer is not None

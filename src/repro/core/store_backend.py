@@ -140,6 +140,13 @@ class LocalDirBackend(StoreBackend):
     def contains(self, key: str) -> bool:
         return self.path(key).is_file()
 
+    def keys(self):
+        """Every stored cache key (the file stems under ``root``)."""
+        if not self.root.exists():
+            return
+        for path in self.root.glob("*/*.json"):
+            yield path.stem
+
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
@@ -182,22 +189,49 @@ class TieredBackend(StoreBackend):
         #: keys a batched probe reported absent remotely; consulted (and
         #: consumed) by load() to skip a guaranteed-404 round trip
         self._remote_absent: set[str] = set()
+        #: keys a bulk prefetch pulled from the remote tier into the local
+        #: one; consulted (and consumed) by load() so the first read still
+        #: reports its true origin ("remote"), not the tier it landed in
+        self._remote_fetched: set[str] = set()
         self._absent_lock = threading.Lock()
 
     def prefetch(self, keys) -> None:
-        """Probe the remote tier for ``keys`` in one round trip.
+        """Pull ``keys`` from the remote tier in one round trip.
 
-        Keys already local are not probed; keys the service reports absent
-        are remembered so the next ``load`` of each skips the remote GET
-        entirely -- on a cold sweep this collapses N miss round trips into
-        one ``POST /v1/keys``.  Remotes without a batched probe make this a
-        no-op.
+        Keys already local are untouched.  With a bulk-capable remote
+        (:meth:`~repro.core.cache_service.RemoteStore.load_batch`) the
+        missing records are fetched and written into the local tier up
+        front -- a warm remote sweep costs one ``POST /v1/entries``
+        instead of one GET per key -- while keys the service reports
+        absent are remembered so the next ``load`` of each skips the
+        remote round trip entirely.  Remotes with only the existence
+        probe (``contains_batch``) keep the probe-only behavior; remotes
+        with neither make this a no-op.
         """
-        probe = getattr(self.remote, "contains_batch", None)
-        if probe is None:
-            return
         missing = [key for key in keys if not self.local.contains(key)]
         if not missing:
+            return
+        fetch = getattr(self.remote, "load_batch", None)
+        if fetch is not None:
+            records = fetch(missing)
+            if records:
+                with self._absent_lock:
+                    for key in missing:
+                        record = records.get(key)
+                        if not isinstance(record, dict):
+                            self._remote_absent.add(key)
+                        elif record.get(
+                            "schema"
+                        ) == CACHE_SCHEMA_VERSION and self.local.store(key, record):
+                            self._remote_fetched.add(key)
+                        # Schema-mismatched or unwritable records fall
+                        # through to a plain remote load (same handling a
+                        # single-key read-through gives them).
+            # An empty dict means the remote is dead or the transfer
+            # failed: no information either way, so per-key loads decide.
+            return
+        probe = getattr(self.remote, "contains_batch", None)
+        if probe is None:
             return
         present = probe(missing)
         with self._absent_lock:
@@ -206,7 +240,10 @@ class TieredBackend(StoreBackend):
     def load(self, key: str) -> Optional[dict]:
         record = self.local.load(key)
         if record is not None:
-            self.last_tier = "local"
+            with self._absent_lock:
+                fetched = key in self._remote_fetched
+                self._remote_fetched.discard(key)
+            self.last_tier = "remote" if fetched else "local"
             return record
         with self._absent_lock:
             skip_remote = key in self._remote_absent
@@ -231,6 +268,7 @@ class TieredBackend(StoreBackend):
         self.remote.store(key, record)
         with self._absent_lock:
             self._remote_absent.discard(key)
+            self._remote_fetched.discard(key)
         return stored_locally
 
     def contains(self, key: str) -> bool:

@@ -1,0 +1,182 @@
+"""Execution adapters: *how* a batch of pending jobs actually runs.
+
+:class:`~repro.experiments.sweep.ParallelSweepEngine` owns the *what* --
+memoization, the persistent store tiers, trace-group resolution, counters
+-- and delegates the *where/how* of executing the jobs that survive every
+cache tier to a pluggable :class:`ExecutionAdapter`:
+
+* :class:`SerialAdapter` -- everything in-process, no pool ever created.
+  The default for ``jobs=1`` (the interactive :class:`ExperimentRunner`).
+* :class:`LocalPoolAdapter` -- the historical ``ProcessPoolExecutor``
+  path: capture work pinned to one worker per trace group, resolved
+  groups split per batched-replay partition, broken pools degrading to
+  the serial path.  The default for ``jobs > 1``.
+
+The fleet path reuses the same seam from the outside: ``python -m repro
+worker`` (:mod:`repro.worker`) leases partitions from a coordinator
+(:mod:`repro.core.coordinator`) and drains each one through an ordinary
+engine carrying one of the adapters above -- distribution lives in the
+lease protocol, not in yet another execution code path, so fleet results
+are bit-identical to local runs by construction.
+
+Adapters call back into engine helpers (``_resolve_groups``,
+``_split_resolved_groups``, ``_capture_starved_groups``,
+``_run_group_serial``) rather than owning copies: those helpers maintain
+engine state (trace memo, capture/store-hit/batched-replay counters) that
+must stay consistent no matter which adapter ran the jobs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional
+
+__all__ = [
+    "ExecutionAdapter",
+    "LocalPoolAdapter",
+    "SerialAdapter",
+]
+
+
+class ExecutionAdapter(ABC):
+    """Strategy for executing one batch of uncached jobs.
+
+    ``execute`` receives the engine (for its resolution helpers, counters
+    and store), the pending job list, and an ``emit(job, outcome)``
+    callback that must be invoked exactly once per job as its result
+    becomes available -- the engine layers persistence and progress
+    streaming on top of it.
+    """
+
+    #: parallelism this adapter offers; the engine mirrors it as
+    #: ``engine.jobs`` so group splitting can size its chunks
+    jobs: int = 1
+    name: str = "base"
+
+    @abstractmethod
+    def execute(self, engine, pending: list, emit: Callable) -> None:
+        """Run every job in ``pending``, emitting each outcome once."""
+
+
+class SerialAdapter(ExecutionAdapter):
+    """Run every trace group in-process, in submission order."""
+
+    name = "serial"
+
+    def execute(self, engine, pending: list, emit: Callable) -> None:
+        for spec, group, trace, payload in engine._resolve_groups(pending):
+            engine._run_group_serial(spec, group, trace, payload, emit)
+
+
+class LocalPoolAdapter(ExecutionAdapter):
+    """Shard trace groups across a local ``ProcessPoolExecutor``.
+
+    Simulation is pure Python + numpy, so process-level parallelism is
+    the only way to use more than one core.  Capture work is pinned to
+    one worker per trace group (keeping every capture single-shot even
+    under a pool); replays of already-resolved traces are split per
+    batched-replay partition (per up-to-``jobs`` chunk with
+    ``REPRO_BATCHED_REPLAY=0``) before submission.  A pool that cannot
+    start (fork blocked) or dies mid-batch degrades to the serial path
+    for whatever work is left -- never failing the sweep.
+    """
+
+    name = "local-pool"
+
+    def __init__(self, jobs: Optional[int] = None):
+        from .sweep import default_job_count
+
+        self.jobs = max(1, default_job_count() if jobs is None else jobs)
+
+    def execute(self, engine, pending: list, emit: Callable) -> None:
+        from ..core.replay import batched_replay_enabled
+        from ..isa.trace_io import decode_trace
+        from .sweep import batch_partitions, execute_trace_group
+
+        tasks = engine._resolve_groups(pending)
+        if self.jobs > 1:
+            # Will splitting alone feed the pool?  Resolved groups yield one
+            # task per batched-replay partition (or up to `jobs` chunks with
+            # batching off); capture-needed groups stay whole.
+            batched = batched_replay_enabled()
+            projected = sum(
+                1
+                if trace is None and payload is None
+                else (
+                    len(batch_partitions(group))
+                    if batched
+                    else min(self.jobs, len(group))
+                )
+                for _, group, trace, payload in tasks
+            )
+            if projected < min(self.jobs, len(pending)):
+                # Too few tasks to feed the pool: capture the cold groups
+                # up front (cheap) so their replays parallelize too.
+                tasks = engine._capture_starved_groups(tasks)
+            # Single split pass: chunks are never re-split into singletons,
+            # preserving within-chunk decode/compile sharing.
+            tasks = engine._split_resolved_groups(tasks)
+        remaining = set(range(len(tasks)))
+        if self.jobs > 1 and len(tasks) > 1:
+            pool = None
+            try:
+                import multiprocessing
+
+                context = None
+                if "fork" in multiprocessing.get_all_start_methods():
+                    context = multiprocessing.get_context("fork")
+                workers = min(self.jobs, len(tasks))
+                pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            except OSError:
+                # Restricted environments (fork blocked by seccomp/cgroups):
+                # degrade to the serial path rather than failing the sweep.
+                pool = None
+            if pool is not None:
+                with pool:
+                    try:
+                        futures = {
+                            pool.submit(execute_trace_group, group, payload, trace): index
+                            for index, (spec, group, trace, payload) in enumerate(tasks)
+                        }
+                    except (OSError, BrokenProcessPool):
+                        futures = {}
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        spec, group, task_trace, task_payload = tasks[index]
+                        try:
+                            outcomes, captured = future.result()
+                        except (OSError, BrokenProcessPool):
+                            # Workers killed mid-batch: leave this group for
+                            # the serial pass below.
+                            continue
+                        if captured is not None:
+                            engine._count_capture(spec)
+                            engine._trace_store.save_payload(spec, captured)
+                            if engine.store is None:
+                                # No store to answer later lookups: memoize
+                                # the decoded trace so captured_trace() and
+                                # follow-up batches never recapture.
+                                try:
+                                    engine._memo_trace(
+                                        spec, decode_trace(captured["trace"])
+                                    )
+                                except (KeyError, TypeError, ValueError):
+                                    pass
+                        elif task_trace is None and task_payload is not None:
+                            # The worker replayed a stored payload: that is
+                            # the store hit (counted here, post-decode; the
+                            # per-spec set keeps repeats idempotent).
+                            engine._count_store_hit(spec)
+                        engine._count_batched_replays(group)
+                        remaining.discard(index)
+                        # emit runs outside the except scopes above so a
+                        # callback/persistence error propagates instead of
+                        # being mistaken for a broken pool (which would
+                        # silently re-simulate already-finished jobs).
+                        for job, outcome in zip(group, outcomes):
+                            emit(job, outcome)
+        for index, (spec, group, trace, payload) in enumerate(tasks):
+            if index in remaining:
+                engine._run_group_serial(spec, group, trace, payload, emit)

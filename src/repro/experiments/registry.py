@@ -41,8 +41,16 @@ from ..core.cache import (
     store_cached_result,
 )
 from ..core.config import MachineConfig, default_config
+from .adapters import ExecutionAdapter
 from .runner import ExperimentRunner
-from .sweep import KernelJob, OnResult, ParallelSweepEngine, SweepSpec, default_job_count
+from .sweep import (
+    KernelJob,
+    OnResult,
+    ParallelSweepEngine,
+    SweepSpec,
+    batch_partitions,
+    default_job_count,
+)
 
 __all__ = [
     "Experiment",
@@ -50,6 +58,7 @@ __all__ = [
     "all_experiments",
     "build_runner",
     "experiment_names",
+    "experiment_partitions",
     "get_experiment",
     "register_experiment",
     "run_experiment",
@@ -185,12 +194,40 @@ def get_experiment(name: str) -> Experiment:
         ) from None
 
 
+def experiment_partitions(
+    name: str, options: Optional[ExperimentOptions] = None
+) -> list[list[KernelJob]]:
+    """An experiment's job set split into the fleet's lease-sized units.
+
+    Jobs group by trace spec (so one partition replays one captured
+    trace) and then by batched-replay partition
+    (:func:`~repro.experiments.sweep.batch_partitions`: compiled-kernel
+    geometry) -- exactly the units the local pool adapter submits to its
+    workers, so a leased partition costs ~one batched replay pass.
+
+    Deterministic given the source tree: the coordinator and every
+    worker re-derive identical partitions (and identical job cache keys,
+    which embed the source fingerprint), which is how version skew
+    across a fleet is detected instead of silently simulated wrong.
+    """
+    experiment = get_experiment(name)
+    options = options or ExperimentOptions()
+    groups: dict = {}
+    for job in experiment.jobs(options):
+        groups.setdefault(job.trace_spec(), []).append(job)
+    partitions: list[list[KernelJob]] = []
+    for group in groups.values():
+        partitions.extend(batch_partitions(group))
+    return partitions
+
+
 def build_runner(
     jobs: Optional[int] = None,
     store: Optional[ResultStore] = None,
     config: Optional[MachineConfig] = None,
     default_scale: float = 0.5,
     remote: Optional[str] = None,
+    adapter: Optional[ExecutionAdapter] = None,
 ) -> ExperimentRunner:
     """An :class:`ExperimentRunner` over a parallel engine -- the standard
     stack the CLI, the benchmark session and the example scripts share.
@@ -198,12 +235,14 @@ def build_runner(
     ``remote`` (a ``python -m repro serve`` URL) without an explicit
     ``store`` builds the default tiered store: local cache directory first,
     shared cache service second, so simulation jobs *and* assembled
-    experiment results are shared across machines.
+    experiment results are shared across machines.  ``adapter`` overrides
+    how the engine executes uncached jobs (default: serial for one job
+    slot, the local process pool otherwise).
     """
     if store is None and remote is not None:
         store = ResultStore(ResultStore.default_dir(), remote=remote)
     engine = ParallelSweepEngine(
-        jobs=default_job_count() if jobs is None else jobs, store=store
+        jobs=default_job_count() if jobs is None else jobs, store=store, adapter=adapter
     )
     return ExperimentRunner(config=config, default_scale=default_scale, engine=engine)
 

@@ -69,10 +69,13 @@ class ExperimentRunner:
         engine: Optional[ParallelSweepEngine] = None,
         jobs: int = 1,
         store: Optional[ResultStore] = None,
+        adapter=None,
     ):
         self.config = config or default_config()
         self.default_scale = default_scale
-        self.engine = engine or ParallelSweepEngine(jobs=jobs, store=store)
+        self.engine = engine or ParallelSweepEngine(
+            jobs=jobs, store=store, adapter=adapter
+        )
         self._kernel_cache: dict = {}
         self._traced: set = set()
         #: baseline results by cache key, mirroring the engine's job memo so

@@ -48,8 +48,6 @@ from __future__ import annotations
 import os
 import warnings
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Sequence
 
@@ -62,6 +60,7 @@ from ..core.traces import TraceArtifact, TraceSpec, TraceStore
 from ..isa.instructions import TraceEntry
 from ..isa.trace_io import decode_trace
 from ..sram.schemes import get_scheme
+from .adapters import ExecutionAdapter, LocalPoolAdapter, SerialAdapter
 
 __all__ = [
     "KernelJob",
@@ -70,6 +69,9 @@ __all__ = [
     "SweepSpec",
     "SweepResult",
     "ParallelSweepEngine",
+    "ExecutionAdapter",
+    "LocalPoolAdapter",
+    "SerialAdapter",
     "batch_partitions",
     "execute_job",
     "execute_trace_group",
@@ -271,13 +273,28 @@ def execute_job(job: KernelJob) -> JobOutcome:
 class ParallelSweepEngine:
     """Executes :class:`KernelJob` batches with memoization and sharding.
 
-    ``jobs=1`` runs everything in-process (no pool is ever created), which
-    is the default for the interactive :class:`ExperimentRunner`; the CLI
-    and the benchmark session pass higher counts.
+    *How* the surviving jobs run is delegated to a pluggable
+    :class:`~repro.experiments.adapters.ExecutionAdapter`: ``jobs=1``
+    (the default for the interactive :class:`ExperimentRunner`) selects
+    the in-process :class:`SerialAdapter` -- no pool is ever created --
+    and higher counts the :class:`LocalPoolAdapter`; an explicit
+    ``adapter`` overrides both.  The fleet worker
+    (``python -m repro worker``) drains coordinator-leased partitions
+    through this same engine, so every execution path shares one
+    cache/counter/trace-resolution implementation.
     """
 
-    def __init__(self, jobs: int = 1, store: Optional[ResultStore] = None):
-        self.jobs = max(1, jobs)
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        adapter: Optional[ExecutionAdapter] = None,
+    ):
+        if adapter is None:
+            adapter = SerialAdapter() if max(1, jobs) == 1 else LocalPoolAdapter(jobs)
+        self.adapter = adapter
+        #: mirror of ``adapter.jobs`` -- group splitting sizes chunks off it
+        self.jobs = max(1, adapter.jobs)
         self.store = store
         self.computed = 0
         self._memo: dict[KernelJob, JobOutcome] = {}
@@ -515,96 +532,11 @@ class ParallelSweepEngine:
         The trace group is the unit of capture: each group captures (or
         loads) its trace once and replays it for every member job, so a
         multi-config sweep runs the functional machine once per distinct
-        trace even when sharded across worker processes.  For parallelism,
-        groups whose trace is already resolved are split per batched-replay
-        partition (per job with ``REPRO_BATCHED_REPLAY=0``) before
-        submission -- only capture work is pinned to one worker.
+        trace even when sharded across worker processes.  The adapter owns
+        the parallelism strategy (pool sharding, partition splitting,
+        broken-pool degradation); see :mod:`repro.experiments.adapters`.
         """
-        tasks = self._resolve_groups(pending)
-        if self.jobs > 1:
-            # Will splitting alone feed the pool?  Resolved groups yield one
-            # task per batched-replay partition (or up to `jobs` chunks with
-            # batching off); capture-needed groups stay whole.
-            batched = batched_replay_enabled()
-            projected = sum(
-                1
-                if trace is None and payload is None
-                else (
-                    len(batch_partitions(group))
-                    if batched
-                    else min(self.jobs, len(group))
-                )
-                for _, group, trace, payload in tasks
-            )
-            if projected < min(self.jobs, len(pending)):
-                # Too few tasks to feed the pool: capture the cold groups
-                # up front (cheap) so their replays parallelize too.
-                tasks = self._capture_starved_groups(tasks)
-            # Single split pass: chunks are never re-split into singletons,
-            # preserving within-chunk decode/compile sharing.
-            tasks = self._split_resolved_groups(tasks)
-        remaining = set(range(len(tasks)))
-        if self.jobs > 1 and len(tasks) > 1:
-            pool = None
-            try:
-                import multiprocessing
-
-                context = None
-                if "fork" in multiprocessing.get_all_start_methods():
-                    context = multiprocessing.get_context("fork")
-                workers = min(self.jobs, len(tasks))
-                pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-            except OSError:
-                # Restricted environments (fork blocked by seccomp/cgroups):
-                # degrade to the serial path rather than failing the sweep.
-                pool = None
-            if pool is not None:
-                with pool:
-                    try:
-                        futures = {
-                            pool.submit(execute_trace_group, group, payload, trace): index
-                            for index, (spec, group, trace, payload) in enumerate(tasks)
-                        }
-                    except (OSError, BrokenProcessPool):
-                        futures = {}
-                    for future in as_completed(futures):
-                        index = futures[future]
-                        spec, group, task_trace, task_payload = tasks[index]
-                        try:
-                            outcomes, captured = future.result()
-                        except (OSError, BrokenProcessPool):
-                            # Workers killed mid-batch: leave this group for
-                            # the serial pass below.
-                            continue
-                        if captured is not None:
-                            self._count_capture(spec)
-                            self._trace_store.save_payload(spec, captured)
-                            if self.store is None:
-                                # No store to answer later lookups: memoize
-                                # the decoded trace so captured_trace() and
-                                # follow-up batches never recapture.
-                                try:
-                                    self._memo_trace(
-                                        spec, decode_trace(captured["trace"])
-                                    )
-                                except (KeyError, TypeError, ValueError):
-                                    pass
-                        elif task_trace is None and task_payload is not None:
-                            # The worker replayed a stored payload: that is
-                            # the store hit (counted here, post-decode; the
-                            # per-spec set keeps repeats idempotent).
-                            self._count_store_hit(spec)
-                        self._count_batched_replays(group)
-                        remaining.discard(index)
-                        # emit runs outside the except scopes above so a
-                        # callback/persistence error propagates instead of
-                        # being mistaken for a broken pool (which would
-                        # silently re-simulate already-finished jobs).
-                        for job, outcome in zip(group, outcomes):
-                            emit(job, outcome)
-        for index, (spec, group, trace, payload) in enumerate(tasks):
-            if index in remaining:
-                self._run_group_serial(spec, group, trace, payload, emit)
+        self.adapter.execute(self, pending, emit)
 
     def run_jobs(
         self,

@@ -1,0 +1,738 @@
+"""Fleet-mode tests: job queue, coordinator protocol, workers, auth, bulk.
+
+The contract under test: any number of ``repro worker`` processes pointed
+at one coordinator drain an enqueued experiment *cooperatively* -- every
+job simulated exactly once fleet-wide, results bit-identical to a
+single-machine run -- and every fleet fault degrades safely: a worker
+killed mid-lease is requeued after the lease TTL, a coordinator dying
+mid-run costs the worker one warning before it exits local-only (the PR 4
+RemoteStore contract), late acks and stale heartbeats can never complete
+or resurrect a lease they no longer own, and a token-protected server
+rejects every unauthorized mutation while reads stay open.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+import warnings
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.cache import CACHE_SCHEMA_VERSION, ResultStore
+from repro.core.cache_service import CacheServer, RemoteStore
+from repro.core.coordinator import CoordinatorClient, CoordinatorError, JobQueue
+from repro.experiments import registry
+from repro.experiments.registry import (
+    ExperimentOptions,
+    build_runner,
+    experiment_partitions,
+    run_experiment,
+)
+from repro.experiments.sweep import SweepSpec
+from repro.worker import WorkerReport, resolve_partition_jobs, run_worker
+
+KEY_A = "ab" * 32
+KEY_B = "cd" * 32
+
+TOKEN = "fleet-secret"
+
+
+# ---------------------------------------------------------------------- #
+#  A tiny registered experiment (removed again on teardown: the registry
+#  completeness test asserts exactly the paper's experiment set)
+# ---------------------------------------------------------------------- #
+
+MINI_NAME = "fleet-mini"
+MINI_SCALE = 0.25
+
+
+@dataclass
+class MiniResult:
+    cycles: dict
+
+    def to_dict(self) -> dict:
+        return {"cycles": dict(self.cycles)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MiniResult":
+        return cls(cycles=dict(data["cycles"]))
+
+
+def _mini_specs(options):
+    return (
+        SweepSpec(
+            name=MINI_NAME,
+            kernels=[
+                ("csum", {"scale": options.scale}),
+                ("memcpy", {"scale": options.scale}),
+            ],
+            schemes=("bit-serial", "bit-parallel"),
+        ),
+    )
+
+
+def _mini_assemble(runner, options):
+    cycles = {}
+    for spec in _mini_specs(options):
+        for job in spec.jobs():
+            outcome = runner.engine.run_one(job)
+            cycles[f"{job.kernel}/{job.scheme_name}"] = outcome.result.total_cycles
+    return MiniResult(cycles=cycles)
+
+
+@pytest.fixture
+def mini_experiment():
+    experiment = registry.register_experiment(
+        MINI_NAME,
+        "fleet drain test experiment",
+        MiniResult,
+        _mini_assemble,
+        _mini_specs,
+        uses_scale=True,
+    )
+    yield experiment
+    registry._REGISTRY.pop(MINI_NAME, None)
+
+
+def mini_options():
+    return ExperimentOptions(scale=MINI_SCALE)
+
+
+def reference_result(experiment):
+    """The local, store-free ground truth for the mini experiment."""
+    runner = build_runner(jobs=1, default_scale=MINI_SCALE)
+    result = run_experiment(
+        MINI_NAME, runner=runner, options=mini_options(), use_cache=False
+    )
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def assemble_from_service(server, root):
+    """Run the experiment against a fresh local dir + the service; returns
+    (canonical result JSON, jobs this runner had to simulate)."""
+    store = ResultStore(root, remote=server.url)
+    runner = build_runner(jobs=1, store=store, default_scale=MINI_SCALE)
+    result = run_experiment(MINI_NAME, runner=runner, options=mini_options())
+    return json.dumps(result.to_dict(), sort_keys=True), runner.engine.computed
+
+
+# ---------------------------------------------------------------------- #
+#  Fixtures
+# ---------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = CacheServer(("127.0.0.1", 0), root=tmp_path / "server")
+    srv.start_in_background()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+#: canned partitions for protocol tests that must not touch the registry
+FAKE_PARTITIONS = [["aa" * 32, "bb" * 32], ["cc" * 32]]
+
+
+def fake_expand(name, scale):
+    if name != "exp":
+        raise KeyError(name)
+    return [list(keys) for keys in FAKE_PARTITIONS]
+
+
+@pytest.fixture
+def queue_server(tmp_path):
+    srv = CacheServer(
+        ("127.0.0.1", 0),
+        root=tmp_path / "server",
+        queue=JobQueue(lease_ttl_s=30.0, expand=fake_expand),
+    )
+    srv.start_in_background()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture
+def auth_server(tmp_path):
+    srv = CacheServer(
+        ("127.0.0.1", 0),
+        root=tmp_path / "server",
+        token=TOKEN,
+        queue=JobQueue(expand=fake_expand),
+    )
+    srv.start_in_background()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_queue(ttl=60.0):
+    clock = FakeClock()
+    queue = JobQueue(lease_ttl_s=ttl, clock=clock, expand=fake_expand)
+    return queue, clock
+
+
+def coordinator_warnings(caught):
+    return [
+        str(w.message)
+        for w in caught
+        if issubclass(w.category, RuntimeWarning) and "coordinator" in str(w.message)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+#  JobQueue semantics (deterministic, fake clock)
+# ---------------------------------------------------------------------- #
+
+
+class TestJobQueue:
+    def test_enqueue_lease_ack_roundtrip(self):
+        queue, clock = make_queue()
+        summary = queue.enqueue("exp", 0.5)
+        assert summary["partitions"] == 2
+        assert summary["jobs"] == 3
+        assert summary["queued"] == 2 and summary["already_queued"] == 0
+
+        first, drained = queue.lease("w1")
+        assert not drained
+        assert first["keys"] == FAKE_PARTITIONS[first["index"]]
+        assert first["attempts"] == 1
+        assert queue.ack("w1", first["id"]) == (True, None)
+
+        second, _ = queue.lease("w1")
+        assert second["id"] != first["id"]
+        assert queue.ack("w1", second["id"]) == (True, None)
+        none, drained = queue.lease("w1")
+        assert none is None and drained
+        assert queue.stats()["completed"] == 2
+
+    def test_enqueue_is_idempotent_while_queued(self):
+        queue, clock = make_queue()
+        queue.enqueue("exp")
+        again = queue.enqueue("exp")
+        assert again["queued"] == 0 and again["already_queued"] == 2
+        # Completed partitions may be re-queued (the warm store makes the
+        # re-run free), pending/leased ones never duplicate.
+        leased, _ = queue.lease("w1")
+        queue.ack("w1", leased["id"])
+        third = queue.enqueue("exp")
+        assert third["queued"] == 1 and third["already_queued"] == 1
+
+    def test_unknown_experiment_raises(self):
+        queue, _ = make_queue()
+        with pytest.raises(KeyError):
+            queue.enqueue("nonsense")
+
+    def test_expired_lease_is_requeued_for_another_worker(self):
+        queue, clock = make_queue(ttl=10.0)
+        queue.enqueue("exp")
+        dead_lease, _ = queue.lease("doomed")
+        clock.advance(10.1)
+        # Requeued to the back: drain both pending partitions to find it.
+        leases = [queue.lease("survivor")[0], queue.lease("survivor")[0]]
+        recovered = next(l for l in leases if l["id"] == dead_lease["id"])
+        assert recovered["attempts"] == 2
+        assert queue.requeued == 1
+        # The original holder's late ack is answered stale, not applied.
+        assert queue.ack("doomed", dead_lease["id"]) == (False, "lease not held")
+        assert queue.ack("survivor", recovered["id"]) == (True, None)
+
+    def test_heartbeat_extends_live_leases(self):
+        queue, clock = make_queue(ttl=10.0)
+        queue.enqueue("exp")
+        leased, _ = queue.lease("w1")
+        clock.advance(8.0)
+        assert queue.heartbeat("w1") == 1
+        clock.advance(8.0)  # 16s total: past the original deadline
+        assert queue.ack("w1", leased["id"]) == (True, None)
+
+    def test_stale_heartbeat_cannot_resurrect_a_lapsed_lease(self):
+        queue, clock = make_queue(ttl=10.0)
+        queue.enqueue("exp")
+        leased, _ = queue.lease("w1")
+        clock.advance(10.1)
+        # Expiry runs before the extension: nothing left to extend.
+        assert queue.heartbeat("w1") == 0
+        released = [queue.lease("w2")[0], queue.lease("w2")[0]]
+        assert leased["id"] in [l["id"] for l in released]
+        # Even heartbeating again cannot steal it back.
+        assert queue.heartbeat("w1") == 0
+        assert queue.ack("w1", leased["id"]) == (False, "lease not held")
+
+    def test_double_ack_is_rejected(self):
+        queue, _ = make_queue()
+        queue.enqueue("exp")
+        leased, _ = queue.lease("w1")
+        assert queue.ack("w1", leased["id"]) == (True, None)
+        assert queue.ack("w1", leased["id"]) == (False, "already completed")
+        assert queue.completed == 1
+
+    def test_ack_for_unknown_partition_is_rejected(self):
+        queue, _ = make_queue()
+        queue.enqueue("exp")
+        assert queue.ack("w1", "not-a-partition") == (False, "unknown partition")
+
+    def test_nack_requeues_for_the_next_lease(self):
+        queue, _ = make_queue()
+        queue.enqueue("exp")
+        leased, _ = queue.lease("w1")
+        assert queue.nack("w1", leased["id"]) is True
+        # Only the current holder may nack.
+        assert queue.nack("w1", leased["id"]) is False
+        # The nacked partition is leaseable again (2 pending in total).
+        ids = {queue.lease("w2")[0]["id"], queue.lease("w2")[0]["id"]}
+        assert leased["id"] in ids
+
+    def test_stats_snapshot(self):
+        queue, clock = make_queue(ttl=10.0)
+        queue.enqueue("exp")
+        queue.lease("w1")
+        stats = queue.stats()
+        assert stats["pending"] == 1 and stats["leased"] == 1
+        assert stats["completed"] == 0 and stats["requeued"] == 0
+        assert stats["workers"] == 1 and stats["lease_ttl_s"] == 10.0
+        clock.advance(11.0)
+        stats = queue.stats()
+        # The lapsed lease is back in pending and its worker aged out.
+        assert stats["pending"] == 2 and stats["leased"] == 0
+        assert stats["requeued"] == 1 and stats["workers"] == 0
+
+
+# ---------------------------------------------------------------------- #
+#  The HTTP protocol: CoordinatorClient against a live server
+# ---------------------------------------------------------------------- #
+
+
+class TestCoordinatorProtocol:
+    def test_enqueue_lease_ack_over_http(self, queue_server):
+        client = CoordinatorClient(queue_server.url, worker_id="w1")
+        summary = client.enqueue("exp")
+        assert summary["partitions"] == 2 and summary["queued"] == 2
+
+        answer = client.lease()
+        assert answer["drained"] is False
+        # The server's TTL drives the client's heartbeat cadence.
+        assert client.lease_ttl_s == 30.0
+        partition = answer["partition"]
+        assert partition["keys"] == FAKE_PARTITIONS[partition["index"]]
+        assert client.heartbeat() is True
+        assert client.ack(partition["id"]) == "ok"
+        # A double ack is an application-level 409, answered "stale"
+        # without killing the client.
+        assert client.ack(partition["id"]) == "stale"
+        assert not client.dead
+
+        second = client.lease()["partition"]
+        assert client.nack(second["id"], reason="testing") is True
+        third = client.lease()["partition"]
+        assert third["id"] == second["id"] and third["attempts"] == 2
+        assert client.ack(third["id"]) == "ok"
+        final = client.lease()
+        assert final["partition"] is None and final["drained"] is True
+
+        stats = queue_server.stats()
+        assert stats["queue"]["completed"] == 2
+        assert stats["enqueues"] == 1 and stats["acks"] == 2
+        assert stats["nacks"] == 1 and stats["heartbeats"] == 1
+
+    def test_unknown_experiment_is_a_400_not_a_death(self, queue_server):
+        client = CoordinatorClient(queue_server.url, worker_id="w1")
+        with pytest.raises(CoordinatorError) as excinfo:
+            client.enqueue("nonsense")
+        assert excinfo.value.status == 400
+        assert not client.dead
+        assert client.enqueue("exp")["queued"] == 2
+
+    def test_dead_coordinator_warns_once_then_noops(self, tmp_path):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = CoordinatorClient(f"http://127.0.0.1:{port}", worker_id="w1")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert client.lease() is None
+            assert client.enqueue("exp") is None
+            assert client.ack("whatever") is None
+            assert client.heartbeat() is False
+        assert client.dead
+        messages = coordinator_warnings(caught)
+        assert len(messages) == 1, messages
+        assert "degrading to local-only" in messages[0]
+
+
+# ---------------------------------------------------------------------- #
+#  Token auth: mutations closed, reads open
+# ---------------------------------------------------------------------- #
+
+
+def http_status(url, method="GET", body=None, token=None):
+    request = urllib.request.Request(url, data=body, method=method)
+    if body is not None:
+        request.add_header("Content-Type", "application/json")
+    if token is not None:
+        request.add_header("Authorization", f"Bearer {token}")
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status
+    except urllib.error.HTTPError as error:
+        return error.code
+
+
+class TestTokenAuth:
+    def test_put_requires_the_token(self, auth_server):
+        body = json.dumps({"schema": CACHE_SCHEMA_VERSION, "result": {}}).encode()
+        url = f"{auth_server.url}/v1/entry/{KEY_A}"
+        assert http_status(url, "PUT", body) == 401
+        assert http_status(url, "PUT", body, token="wrong-token") == 401
+        assert not auth_server.backend.contains(KEY_A)
+        assert http_status(url, "PUT", body, token=TOKEN) == 204
+        assert auth_server.backend.contains(KEY_A)
+        assert auth_server.stats()["unauthorized"] == 2
+
+    def test_reads_stay_open_without_the_token(self, auth_server):
+        auth_server.backend.store(
+            KEY_A, {"schema": CACHE_SCHEMA_VERSION, "result": {"x": 1}}
+        )
+        remote = RemoteStore(auth_server.url)  # no token at all
+        assert remote.load(KEY_A)["result"] == {"x": 1}
+        assert remote.contains(KEY_A)
+        assert remote.contains_batch([KEY_A, KEY_B]) == {KEY_A: True, KEY_B: False}
+        assert remote.load_batch([KEY_A])[KEY_A]["result"] == {"x": 1}
+        assert remote.stats()["auth"] is True
+        assert not remote.dead
+
+    def test_tokened_store_mutates_untokened_one_degrades(self, auth_server):
+        record = {"schema": CACHE_SCHEMA_VERSION, "result": {}}
+        trusted = RemoteStore(auth_server.url, token=TOKEN)
+        assert trusted.store(KEY_A, record)
+
+        intruder = RemoteStore(auth_server.url, token="wrong-token")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert not intruder.store(KEY_B, record)
+        # The 401 rides the standard one-warning degradation: the sweep
+        # still completes on the local tier.
+        assert intruder.dead
+        assert not auth_server.backend.contains(KEY_B)
+        assert len([w for w in caught if "remote cache" in str(w.message)]) == 1
+
+    def test_bulk_put_requires_token_but_bulk_get_does_not(self, auth_server):
+        auth_server.backend.store(
+            KEY_A, {"schema": CACHE_SCHEMA_VERSION, "result": {"x": 1}}
+        )
+        url = f"{auth_server.url}/v1/entries"
+        get_only = json.dumps({"get": [KEY_A]}).encode()
+        with_put = json.dumps(
+            {"put": {KEY_B: {"schema": CACHE_SCHEMA_VERSION, "result": {}}}}
+        ).encode()
+        assert http_status(url, "POST", get_only) == 200
+        assert http_status(url, "POST", with_put) == 401
+        assert not auth_server.backend.contains(KEY_B)
+        assert http_status(url, "POST", with_put, token=TOKEN) == 200
+        assert auth_server.backend.contains(KEY_B)
+
+    def test_queue_surface_requires_the_token(self, auth_server):
+        url = f"{auth_server.url}/v1/queue/"
+        body = json.dumps({"worker": "w1", "experiment": "exp"}).encode()
+        for action in ("enqueue", "lease", "ack", "nack", "heartbeat"):
+            assert http_status(url + action, "POST", body) == 401
+            assert http_status(url + action, "POST", body, token="wrong") == 401
+        # A 401 is an operator problem, not connectivity: the client raises
+        # instead of flipping dead.
+        anonymous = CoordinatorClient(auth_server.url, worker_id="w1", token=None)
+        with pytest.raises(CoordinatorError) as excinfo:
+            anonymous.lease()
+        assert excinfo.value.status == 401
+        assert not anonymous.dead
+
+        trusted = CoordinatorClient(auth_server.url, worker_id="w1", token=TOKEN)
+        assert trusted.enqueue("exp")["queued"] == 2
+        assert trusted.lease()["partition"] is not None
+
+    def test_clients_default_to_the_token_env_var(self, auth_server, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_TOKEN", TOKEN)
+        assert RemoteStore(auth_server.url).store(
+            KEY_A, {"schema": CACHE_SCHEMA_VERSION, "result": {}}
+        )
+        client = CoordinatorClient(auth_server.url, worker_id="w1")
+        assert client.enqueue("exp")["partitions"] == 2
+
+
+# ---------------------------------------------------------------------- #
+#  Bulk entry transfer
+# ---------------------------------------------------------------------- #
+
+
+class TestBulkEntries:
+    def test_load_batch_mixes_hits_and_misses(self, server):
+        record = {"schema": CACHE_SCHEMA_VERSION, "result": {"x": 1}}
+        remote = RemoteStore(server.url)
+        remote.store(KEY_A, record)
+        batch = remote.load_batch([KEY_A, KEY_B])
+        assert batch == {KEY_A: record, KEY_B: None}
+        assert remote.hits == 1 and remote.misses == 1
+        assert server.stats()["entries_served"] == 1
+
+    def test_store_batch_uploads_only_valid_records(self, server):
+        remote = RemoteStore(server.url)
+        record = {"schema": CACHE_SCHEMA_VERSION, "result": {}}
+        accepted = remote.store_batch(
+            {KEY_A: record, KEY_B: record, "not-a-key": record}
+        )
+        assert sorted(accepted) == sorted([KEY_A, KEY_B])
+        assert server.backend.contains(KEY_A) and server.backend.contains(KEY_B)
+        assert server.stats()["entries_stored"] == 2
+
+    def test_prefetch_pulls_records_in_one_round_trip(self, server, tmp_path):
+        writer = ResultStore(tmp_path / "writer", remote=server.url)
+        writer.store(KEY_A, {"result": {"x": 1}})
+
+        reader = ResultStore(tmp_path / "reader", remote=server.url)
+        reader.prefetch([KEY_A, KEY_B])
+        # The hit landed in the local tier up front; its first read still
+        # reports the true origin, exactly like a per-key read-through.
+        assert reader.load(KEY_A)["result"] == {"x": 1}
+        assert reader.last_tier == "remote"
+        assert reader.load(KEY_A)["result"] == {"x": 1}
+        assert reader.last_tier == "local"
+        # The miss was marked absent: no per-key GET was ever issued.
+        assert reader.load(KEY_B) is None
+        assert server.stats()["gets"] == 0
+
+
+# ---------------------------------------------------------------------- #
+#  Workers: cooperative drain, exactly-once, bit-identical assembly
+# ---------------------------------------------------------------------- #
+
+
+class TestWorkerDrain:
+    def test_two_workers_drain_exactly_once_and_match_local(
+        self, mini_experiment, server, tmp_path
+    ):
+        partitions = experiment_partitions(MINI_NAME, mini_options())
+        job_keys = sorted(
+            job.cache_key() for partition in partitions for job in partition
+        )
+        client = CoordinatorClient(server.url, worker_id="enqueuer")
+        summary = client.enqueue(MINI_NAME, MINI_SCALE)
+        assert summary["partitions"] == len(partitions)
+        assert summary["jobs"] == len(job_keys)
+
+        reports = {}
+
+        def drain(name):
+            reports[name] = run_worker(
+                server.url,
+                cache_dir=str(tmp_path / name),
+                worker_id=name,
+                drain=True,
+                poll_s=0.05,
+            )
+
+        threads = [
+            threading.Thread(target=drain, args=(name,)) for name in ("w1", "w2")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert set(reports) == {"w1", "w2"}
+
+        # Exactly-once: the union of per-worker simulated jobs is the job
+        # set, with no key simulated twice anywhere in the fleet.
+        simulated = sorted(
+            key for report in reports.values() for key in report.simulated_keys()
+        )
+        assert simulated == job_keys
+        assert sum(r.acked for r in reports.values()) == len(partitions)
+        assert all(r.stale_acks == 0 for r in reports.values())
+        assert all(not r.coordinator_lost for r in reports.values())
+
+        queue_stats = server.stats()["queue"]
+        assert queue_stats["completed"] == len(partitions)
+        assert queue_stats["requeued"] == 0
+
+        # Assembly from a fresh machine answers everything from the shared
+        # tier and matches a store-free local run byte for byte.
+        assembled, computed = assemble_from_service(server, tmp_path / "assembler")
+        assert computed == 0
+        assert assembled == reference_result(mini_experiment)
+
+    def test_worker_report_round_trips_through_json(self, tmp_path):
+        report = WorkerReport(worker="w1", coordinator="http://x")
+        report.acked = 2
+        report.partitions.append(
+            {"id": "p", "experiment": "e", "jobs": 1, "simulated": [KEY_A], "ack": "ok"}
+        )
+        path = tmp_path / "report.json"
+        from repro.worker import write_report
+
+        write_report(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["acked"] == 2
+        assert loaded["partitions"][0]["simulated"] == [KEY_A]
+
+
+class TestFleetFaultInjection:
+    def test_worker_killed_mid_lease_is_requeued_and_completed(
+        self, mini_experiment, tmp_path
+    ):
+        """A worker leases a partition and dies without acking: after the
+        lease TTL the partition requeues and a surviving worker finishes
+        the sweep, bit-identical, with the ghost's late ack answered
+        stale."""
+        srv = CacheServer(
+            ("127.0.0.1", 0), root=tmp_path / "server", lease_ttl_s=0.3
+        )
+        srv.start_in_background()
+        try:
+            partitions = experiment_partitions(MINI_NAME, mini_options())
+            CoordinatorClient(srv.url, worker_id="enqueuer").enqueue(
+                MINI_NAME, MINI_SCALE
+            )
+            ghost = CoordinatorClient(srv.url, worker_id="ghost")
+            doomed = ghost.lease()["partition"]
+            assert doomed is not None
+            # The ghost never acks and never heartbeats; its lease lapses.
+            time.sleep(0.35)
+
+            report = run_worker(
+                srv.url,
+                cache_dir=str(tmp_path / "survivor"),
+                worker_id="survivor",
+                drain=True,
+                poll_s=0.05,
+            )
+            assert report.acked == len(partitions)
+            assert not report.coordinator_lost
+
+            stats = srv.stats()["queue"]
+            assert stats["completed"] == len(partitions)
+            assert stats["requeued"] >= 1
+            # The dead worker's partition was among the survivor's work.
+            assert doomed["id"] in [p["id"] for p in report.partitions]
+            # A late ack from the ghost cannot double-complete it.
+            assert ghost.ack(doomed["id"]) == "stale"
+
+            assembled, computed = assemble_from_service(srv, tmp_path / "assembler")
+            assert computed == 0
+            assert assembled == reference_result(mini_experiment)
+        finally:
+            srv.shutdown()
+            srv.server_close()
+
+    def test_coordinator_death_degrades_with_one_warning(
+        self, mini_experiment, tmp_path
+    ):
+        """The coordinator dies mid-run: the worker finishes its in-flight
+        partition, warns exactly once, and exits local-only -- the PR 4
+        RemoteStore degradation contract, applied to scheduling."""
+        srv = CacheServer(("127.0.0.1", 0), root=tmp_path / "server")
+        srv.start_in_background()
+        killed = []
+
+        def kill_after_first_ack(message):
+            if "ack=" in message and not killed:
+                killed.append(message)
+                srv.shutdown()
+                srv.server_close()
+
+        try:
+            CoordinatorClient(srv.url, worker_id="enqueuer").enqueue(
+                MINI_NAME, MINI_SCALE
+            )
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                report = run_worker(
+                    srv.url,
+                    cache_dir=str(tmp_path / "worker"),
+                    worker_id="worker",
+                    drain=True,
+                    poll_s=0.05,
+                    log=kill_after_first_ack,
+                )
+        finally:
+            if not killed:
+                srv.shutdown()
+                srv.server_close()
+        assert killed
+        assert report.coordinator_lost is True
+        assert report.acked == 1  # the in-flight partition completed
+        messages = coordinator_warnings(caught)
+        assert len(messages) == 1, messages
+        assert "degrading to local-only" in messages[0]
+        # The completed partition's results survive in the local tier.
+        local = ResultStore(tmp_path / "worker")
+        for key in report.simulated_keys():
+            assert local.load(key) is not None
+
+    def test_version_skewed_partition_is_nacked_not_simulated(
+        self, mini_experiment, tmp_path
+    ):
+        """A coordinator advertising cache keys this worker's source tree
+        cannot reproduce (fleet version skew) gets a nack, never a wrong
+        simulation published under a wrong key."""
+        skewed = JobQueue(
+            expand=lambda name, scale: [["00" * 32, "11" * 32]]
+        )
+        srv = CacheServer(
+            ("127.0.0.1", 0), root=tmp_path / "server", queue=skewed
+        )
+        srv.start_in_background()
+        try:
+            CoordinatorClient(srv.url, worker_id="enqueuer").enqueue(
+                MINI_NAME, MINI_SCALE
+            )
+            report = run_worker(
+                srv.url,
+                cache_dir=str(tmp_path / "worker"),
+                worker_id="worker",
+                max_partitions=1,
+                poll_s=0.01,
+            )
+            assert report.mismatched == 1
+            assert report.acked == 0 and report.simulated_keys() == []
+            # Nothing was published to the shared tier.
+            assert len(srv.backend) == 0
+            # The partition went back to pending for a matching worker.
+            assert srv.stats()["queue"]["pending"] == 1
+        finally:
+            srv.shutdown()
+            srv.server_close()
+
+    def test_resolve_partition_jobs_validates_the_descriptor(self, mini_experiment):
+        partitions = experiment_partitions(MINI_NAME, mini_options())
+        good = {
+            "id": "p0",
+            "experiment": MINI_NAME,
+            "scale": MINI_SCALE,
+            "index": 0,
+            "total": len(partitions),
+            "keys": [job.cache_key() for job in partitions[0]],
+        }
+        jobs = resolve_partition_jobs(good)
+        assert [job.cache_key() for job in jobs] == good["keys"]
+
+        assert resolve_partition_jobs({**good, "keys": ["00" * 32]}) is None
+        assert resolve_partition_jobs({**good, "index": 99}) is None
+        assert resolve_partition_jobs({**good, "total": 99}) is None
+        assert resolve_partition_jobs({**good, "experiment": "nonsense"}) is None
+        assert resolve_partition_jobs({**good, "index": "0"}) is None
