@@ -1,5 +1,5 @@
 """Unified experiment CLI:
-``python -m repro {list,run,trace,cache,serve,queue,worker}``.
+``python -m repro {list,run,trace,explore,cache,serve,queue,worker}``.
 
 Every table/figure of the paper is a registered experiment; ``run`` executes
 one end to end (sharded over worker processes, answered from the persistent
@@ -24,6 +24,17 @@ dynamic instruction mix, without ever touching the timing simulator::
     python -m repro trace list
     python -m repro trace capture gemm --kind mve --scale 0.5
     python -m repro trace stats gemm
+    python -m repro trace diff gemm --against kind=rvv
+    python -m repro trace diff csum --against scale=0.25,lanes=4096
+
+``explore`` searches the machine-configuration space adaptively for the
+Pareto frontier of cycles vs area vs energy, checkpointing after every
+round so a killed search resumes with zero re-simulation::
+
+    python -m repro explore run csum --budget 128 --seed 7
+    python -m repro explore status csum --seed 7
+    python -m repro explore frontier csum --seed 7
+    python -m repro explore export csum --seed 7 --export csv
 
 Per-job progress streams to stderr as results complete (``--no-progress``
 disables it).  ``cache`` shows or clears the persistent store (location:
@@ -89,12 +100,14 @@ from .experiments.sweep import (
     default_job_count,
 )
 from .experiments.tables import format_table, table3_libraries
+from .explore import AXIS_NAMES, STRATEGY_NAMES
 from .sram.schemes import SCHEME_NAMES, get_scheme
 from .workloads import kernel_names
 
 __all__ = [
     "EXPORT_SCHEMA_VERSION",
     "experiment_export_payload",
+    "explore_export_payload",
     "main",
     "named_sweep",
     "named_sweep_names",
@@ -208,6 +221,35 @@ def sweep_export_payload(sweep: SweepResult) -> dict:
     }
 
 
+def explore_export_payload(space, state, elapsed_s: float = 0.0) -> dict:
+    """The JSON document ``explore export`` / ``explore run --export`` writes.
+
+    ``space`` is a :class:`~repro.explore.space.SearchSpace` and ``state``
+    the :class:`~repro.explore.state.SearchState` to publish; the frontier
+    rows carry the full serialized :class:`PointMetrics` (cycles, time,
+    energy breakdown, area report) per surviving point.
+    """
+    return {
+        "schema": EXPORT_SCHEMA_VERSION,
+        "explore": {
+            "kernel": space.kernel,
+            "kind": space.kind,
+            "scale": space.scale,
+            "strategy": state.strategy,
+            "seed": state.seed,
+            "objectives": list(state.objectives),
+            "space_size": space.size,
+            "evaluated": len(state.evaluated),
+            "simulated": state.simulated_total,
+            "rounds": len(state.rounds),
+            "done": state.done,
+        },
+        "space": space.to_dict(),
+        "elapsed_s": elapsed_s,
+        "frontier": [member.to_dict() for member in state.frontier],
+    }
+
+
 def schema_outline(payload) -> object:
     """The type-shape of a JSON payload, independent of its values.
 
@@ -250,6 +292,8 @@ def _rows_to_csv(rows: list[dict], out: TextIO) -> None:
 def _export_rows(payload: dict) -> list[dict]:
     if "jobs" in payload:  # sweep payload: one row per job
         return [flatten(job) for job in payload["jobs"]]
+    if "frontier" in payload:  # explore payload: one row per frontier point
+        return [flatten(member) for member in payload["frontier"]]
     return result_rows(payload["result"])
 
 
@@ -397,16 +441,150 @@ def _cache_sync(store: ResultStore, chunk: int = 200) -> int:
     return 0 if failed == 0 else 1
 
 
+def _trace_artifact(trace_store, spec):
+    """Load ``spec``'s artifact from the trace cache, capturing (and
+    caching) on a miss -- the columnar encode happens exactly once per
+    capture and never on a cache hit.  Returns (artifact, payload, source).
+    """
+    from .core.traces import TraceArtifact
+
+    payload = trace_store.load_payload(spec)
+    if payload is not None:
+        try:
+            return TraceArtifact.from_payload(spec, payload), payload, "cache"
+        except (KeyError, TypeError, ValueError):
+            pass  # corrupt entry: recapture below
+    start = time.perf_counter()
+    try:
+        artifact = spec.capture()
+    except NotImplementedError:
+        raise SystemExit(
+            f"trace: {spec.kernel} has no {spec.kind} lowering"
+        ) from None
+    elapsed_s = time.perf_counter() - start
+    payload = artifact.to_payload()
+    trace_store.save_payload(spec, payload)
+    return artifact, payload, f"captured in {elapsed_s:.2f}s"
+
+
+def _against_spec(base, text: str):
+    """The ``trace diff --against`` spec: the base spec with key=value
+    overrides (keys: kernel, kind, scale, lanes) applied."""
+    from .core.traces import TraceSpec
+
+    fields = {
+        "kernel": base.kernel,
+        "kind": base.kind,
+        "scale": base.scale,
+        "lanes": base.simd_lanes,
+    }
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or key not in fields:
+            raise SystemExit(
+                f"trace diff: bad --against entry {item!r} "
+                f"(expected key=value with keys: {', '.join(fields)})"
+            )
+        fields[key] = value.strip()
+    kernel = str(fields["kernel"])
+    if kernel not in kernel_names():
+        raise SystemExit(f"trace diff: unknown kernel {kernel!r}")
+    kind = str(fields["kind"])
+    if kind not in ("mve", "rvv"):
+        raise SystemExit(f"trace diff: unknown kind {kind!r} (choose mve or rvv)")
+    try:
+        scale = float(fields["scale"])
+        lanes = int(fields["lanes"])
+    except ValueError:
+        raise SystemExit(
+            f"trace diff: --against scale must be a number and lanes an integer"
+        ) from None
+    return TraceSpec(kernel=kernel, kind=kind, scale=scale, simd_lanes=lanes)
+
+
+def _print_trace_diff(spec, artifact, source, against, other, other_source) -> None:
+    """Side-by-side dynamic-instruction-mix comparison of two traces."""
+    base_stats, other_stats = artifact.stats(), other.stats()
+    print(f"base:    {spec.describe()}: {len(artifact)} trace entries [{source}]")
+    print(f"against: {against.describe()}: {len(other)} trace entries [{other_source}]")
+
+    def ratio(a: int, b: int) -> str:
+        if a == 0:
+            return "-" if b == 0 else "new"
+        return f"{b / a:.2f}x"
+
+    base_mix, other_mix = base_stats.as_dict(), other_stats.as_dict()
+    rows = [
+        [
+            category,
+            base_mix[category],
+            other_mix[category],
+            f"{other_mix[category] - base_mix[category]:+d}",
+            ratio(base_mix[category], other_mix[category]),
+        ]
+        for category in ("config", "move", "memory", "arithmetic")
+    ]
+    rows.append(
+        [
+            "vector total",
+            base_stats.vector_total,
+            other_stats.vector_total,
+            f"{other_stats.vector_total - base_stats.vector_total:+d}",
+            ratio(base_stats.vector_total, other_stats.vector_total),
+        ]
+    )
+    rows.append(
+        [
+            "scalar",
+            base_stats.scalar,
+            other_stats.scalar,
+            f"{other_stats.scalar - base_stats.scalar:+d}",
+            ratio(base_stats.scalar, other_stats.scalar),
+        ]
+    )
+    print("\nDynamic instruction mix:")
+    print(format_table(["category", "base", "against", "delta", "ratio"], rows))
+
+    opcodes = sorted(
+        set(base_stats.opcodes) | set(other_stats.opcodes),
+        key=lambda op: (
+            -max(base_stats.opcodes.get(op, 0), other_stats.opcodes.get(op, 0)),
+            op,
+        ),
+    )
+    print("\nPer-opcode counts:")
+    print(
+        format_table(
+            ["opcode", "base", "against", "delta"],
+            [
+                [
+                    op,
+                    base_stats.opcodes.get(op, 0),
+                    other_stats.opcodes.get(op, 0),
+                    f"{other_stats.opcodes.get(op, 0) - base_stats.opcodes.get(op, 0):+d}",
+                ]
+                for op in opcodes
+            ],
+        )
+    )
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
-    """``trace {list,capture,stats}``: the capture stage without the timing
-    simulator.
+    """``trace {list,capture,stats,diff}``: the capture stage without the
+    timing simulator.
 
     Captures go through the same :class:`TraceStore` namespace the sweep
     engine uses, so a ``trace capture`` warms the cache for later sweeps and
-    a sweep's capture makes ``trace stats`` instant.
+    a sweep's capture makes ``trace stats`` instant.  ``diff`` compares the
+    dynamic instruction mix of two captures of the same extraction (base
+    spec vs ``--against`` overrides).
     """
     from .core.config import default_config
-    from .core.traces import TraceArtifact, TraceSpec, TraceStore
+    from .core.traces import TraceSpec, TraceStore
     from .isa.trace_io import trace_payload_bytes
     from .workloads import get_kernel_class
     from .workloads.base import Kernel
@@ -449,29 +627,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     spec = TraceSpec(
         kernel=args.kernel, kind=args.kind, scale=args.scale, simd_lanes=lanes
     )
-    # Work on the payload directly so the columnar encode happens exactly
-    # once per capture (and never on a cache hit).
-    payload = trace_store.load_payload(spec)
-    artifact = None
-    source = "cache"
-    if payload is not None:
-        try:
-            artifact = TraceArtifact.from_payload(spec, payload)
-        except (KeyError, TypeError, ValueError):
-            artifact = None  # corrupt entry: recapture below
-    if artifact is None:
-        start = time.perf_counter()
-        try:
-            artifact = spec.capture()
-        except NotImplementedError:
-            raise SystemExit(
-                f"trace: {args.kernel} has no {args.kind} lowering"
-            ) from None
-        elapsed_s = time.perf_counter() - start
-        payload = artifact.to_payload()
-        trace_store.save_payload(spec, payload)
-        source = f"captured in {elapsed_s:.2f}s"
 
+    if args.action == "diff":
+        if not args.against:
+            raise SystemExit(
+                "trace diff: pass --against key=value[,key=value...] "
+                "(keys: kernel, kind, scale, lanes)"
+            )
+        against = _against_spec(spec, args.against)
+        artifact, _, source = _trace_artifact(trace_store, spec)
+        other, _, other_source = _trace_artifact(trace_store, against)
+        _print_trace_diff(spec, artifact, source, against, other, other_source)
+        return 0
+
+    artifact, payload, source = _trace_artifact(trace_store, spec)
     print(f"{spec.describe()}: {len(artifact)} trace entries [{source}]")
     print(f"key: {spec.cache_key()}")
     if args.action == "capture":
@@ -630,6 +799,156 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         # Work already done is safe (store tiers); signal the supervisor
         # only when this run achieved nothing at all.
         return 1 if not report.partitions else 0
+    return 0
+
+
+def _space_from_args(args: argparse.Namespace):
+    """The :class:`SearchSpace` the explore subcommand operates on: the
+    stock grid unless ``--axis NAME=V1,V2`` flags spell out a custom one."""
+    from .explore import Axis, SearchSpace, default_space
+
+    kernel = args.kernel or "csum"
+    try:
+        if not args.axis:
+            return default_space(kernel=kernel, scale=args.scale, kind=args.kind)
+        axes = []
+        for text in args.axis:
+            name, sep, values = text.partition("=")
+            if not sep:
+                raise ValueError(f"bad --axis {text!r} (expected NAME=V1,V2,...)")
+            parsed: list = []
+            for raw in values.split(","):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    parsed.append(int(raw))
+                except ValueError:
+                    parsed.append(raw)
+            axes.append(Axis(name.strip(), tuple(parsed)))
+        return SearchSpace(
+            kernel=kernel, axes=tuple(axes), kind=args.kind, scale=args.scale
+        )
+    except ValueError as error:
+        raise SystemExit(f"explore: {error}") from None
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    """``explore {run,status,frontier,export}``: adaptive Pareto search.
+
+    ``run`` searches (resuming any checkpoint for the same space, seed,
+    strategy and objectives); the other actions inspect the checkpointed
+    :class:`SearchState` without simulating anything.
+    """
+    from .explore import Explorer
+
+    space = _space_from_args(args)
+    objectives = tuple(
+        name.strip() for name in args.objectives.split(",") if name.strip()
+    )
+    coordinator = None
+    if args.coordinator:
+        from .core.coordinator import CoordinatorClient
+
+        coordinator = CoordinatorClient(args.coordinator, token=_token_for(args))
+    try:
+        explorer = Explorer(
+            space,
+            store=_store_for(args),
+            jobs=args.jobs,
+            strategy=args.strategy,
+            seed=args.seed,
+            objectives=objectives,
+            batch=args.batch,
+            coordinator=coordinator,
+            log=None
+            if args.no_progress
+            else (lambda message: print(message, file=sys.stderr)),
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"explore: {error}") from None
+
+    if args.action == "run":
+        if not args.no_progress:
+            print(f"exploring {space.describe()}", file=sys.stderr)
+        on_result = None if args.no_progress else _progress(sys.stderr)
+        summary = explorer.run(
+            budget=args.budget, max_rounds=args.rounds, on_result=on_result
+        )
+        line = f"explore {space.kernel} [{args.strategy}]: {summary.describe()}"
+        if args.export:
+            payload = explore_export_payload(
+                space, summary.state, elapsed_s=summary.elapsed_s
+            )
+            _write_export(payload, args.export, args.out)
+            print(line, file=sys.stderr)
+        else:
+            print(line)
+        return 0
+
+    state = explorer.load_state()
+    if state is None:
+        raise SystemExit(
+            f"explore {args.action}: no saved search for this space/seed/"
+            "strategy/objectives (run `explore run` first)"
+        )
+
+    if args.action == "export":
+        payload = explore_export_payload(space, state)
+        _write_export(payload, args.export or "json", args.out)
+        return 0
+
+    if args.action == "status":
+        status = "converged" if state.done else "resumable"
+        print(f"{space.describe()}")
+        print(
+            f"strategy {state.strategy}, seed {state.seed}, "
+            f"objectives {', '.join(state.objectives)}"
+        )
+        print(
+            f"evaluated {len(state.evaluated)}/{space.size} configs "
+            f"({state.simulated_total} simulated ever), frontier "
+            f"{len(state.frontier)} points, {len(state.rounds)} rounds [{status}]"
+        )
+        if state.rounds:
+            print()
+            print(
+                format_table(
+                    ["round", "proposed", "simulated", "frontier", "changed"],
+                    [
+                        [
+                            record.index,
+                            record.proposed,
+                            record.simulated,
+                            record.frontier_size,
+                            "yes" if record.frontier_changed else "",
+                        ]
+                        for record in state.rounds
+                    ],
+                )
+            )
+        return 0
+
+    # frontier: the surviving points with their axis values and objectives
+    axis_names = [axis.name for axis in space.axes]
+    rows = [
+        [member.point]
+        + [member.values.get(name, "") for name in axis_names]
+        + [
+            f"{member.metrics.cycles:.0f}",
+            f"{member.metrics.time_us:.2f}",
+            f"{member.metrics.area.total_mm2:.4f}",
+            f"{member.metrics.energy.total_nj:.1f}",
+        ]
+        for member in state.frontier
+    ]
+    print(f"Pareto frontier ({len(rows)} points, {', '.join(state.objectives)}):")
+    print(
+        format_table(
+            ["point", *axis_names, "cycles", "time_us", "area_mm2", "energy_nj"],
+            rows,
+        )
+    )
     return 0
 
 
@@ -835,13 +1154,18 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
         "trace",
         help="capture and inspect kernel traces without running the timing simulator",
     )
-    trace.add_argument("action", choices=("list", "capture", "stats"))
+    trace.add_argument("action", choices=("list", "capture", "stats", "diff"))
     trace.add_argument("kernel", nargs="?", default=None, help="kernel name (see `trace list`)")
     trace.add_argument("--kind", choices=("mve", "rvv"), default="mve", help="lowering to capture")
     trace.add_argument("--scale", type=float, default=0.5, help="dataset scale (default 0.5)")
     trace.add_argument(
         "--lanes", type=int, default=None,
         help="SIMD lane count (default: the base configuration's engine width)",
+    )
+    trace.add_argument(
+        "--against", metavar="KEY=VALUE[,...]", default=None,
+        help="with `diff`: compare the base trace against the spec with "
+        "these overrides applied (keys: kernel, kind, scale, lanes)",
     )
     trace.add_argument(
         "--configs", metavar="SWEEP", default=None,
@@ -853,6 +1177,72 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
     )
     trace.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     trace.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+    explorep = sub.add_parser(
+        "explore",
+        help="adaptive Pareto search over the machine-configuration space",
+    )
+    explorep.add_argument(
+        "action", choices=("run", "status", "frontier", "export"),
+        help="run: search (resumes any checkpoint); status/frontier/export: "
+        "inspect the checkpointed state without simulating",
+    )
+    explorep.add_argument(
+        "kernel", nargs="?", default="csum", help="kernel to explore (default: csum)"
+    )
+    explorep.add_argument(
+        "--kind", choices=("mve", "rvv"), default="mve", help="lowering to search over"
+    )
+    explorep.add_argument("--scale", type=float, default=0.5, help="dataset scale (default 0.5)")
+    explorep.add_argument(
+        "--axis", action="append", metavar="NAME=V1,V2,...", default=None,
+        help="add a search axis (repeatable; default: the stock scheme x "
+        f"num_arrays x l2_compute_ways x dram grid); names: {', '.join(AXIS_NAMES)}",
+    )
+    explorep.add_argument(
+        "--strategy", choices=STRATEGY_NAMES, default="frontier",
+        help="sampling strategy (default: frontier-neighborhood refinement)",
+    )
+    explorep.add_argument("--seed", type=int, default=0, help="deterministic search seed")
+    explorep.add_argument(
+        "--objectives", default="cycles,area,energy",
+        help="comma-separated Pareto objectives: cycles, time_us, area, energy "
+        "(default: cycles,area,energy)",
+    )
+    explorep.add_argument(
+        "--budget", type=int, default=64,
+        help="stop after this many evaluated configs, resumable (default: 64)",
+    )
+    explorep.add_argument("--rounds", type=int, default=64, help="max search rounds (default: 64)")
+    explorep.add_argument(
+        "--batch", type=int, default=16, help="per-round proposal cap (default: 16)"
+    )
+    explorep.add_argument(
+        "--jobs", type=int, default=default_job_count(),
+        help="worker processes (default: cores)",
+    )
+    explorep.add_argument(
+        "--coordinator", metavar="URL", default=None,
+        help="drain each round through this fleet coordinator's worker pool "
+        "before falling back to local simulation",
+    )
+    explorep.add_argument(
+        "--token", default=None,
+        help="coordinator auth token (default: $REPRO_CACHE_TOKEN)",
+    )
+    explorep.add_argument(
+        "--export", choices=("json", "csv"), default=None,
+        help="export the frontier instead of printing the human-readable view",
+    )
+    explorep.add_argument(
+        "--out", default=None, help="write the export to this path (default: stdout)"
+    )
+    explorep.add_argument(
+        "--no-progress", action="store_true",
+        help="do not stream per-round/per-job progress to stderr",
+    )
+    explorep.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    explorep.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
     serve = sub.add_parser(
         "serve",
@@ -942,6 +1332,8 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
         return _cmd_cache(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "queue":

@@ -51,6 +51,28 @@ class AreaReport:
     def module_overhead_percent(self, module: str) -> float:
         return 100.0 * self.modules_mm2[module] / self.scalar_core_mm2
 
+    def to_dict(self) -> dict:
+        """JSON form, mirroring :class:`~repro.core.energy.EnergyBreakdown`
+        so cost metrics flow through the serializable-result surface
+        (explorer frontiers, ``--export json|csv``).  The derived totals
+        are included for export consumers; :meth:`from_dict` rebuilds from
+        the fields alone."""
+        return {
+            "modules_mm2": dict(self.modules_mm2),
+            "scalar_core_mm2": self.scalar_core_mm2,
+            "total_mm2": self.total_mm2,
+            "overhead_percent": self.overhead_percent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AreaReport":
+        return cls(
+            modules_mm2={
+                str(name): float(area) for name, area in data["modules_mm2"].items()
+            },
+            scalar_core_mm2=float(data.get("scalar_core_mm2", SCALAR_CORE_AREA_MM2)),
+        )
+
 
 class AreaModel:
     """Computes the MVE area overhead for a given engine configuration."""

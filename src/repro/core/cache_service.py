@@ -312,6 +312,22 @@ class CacheRequestHandler(BaseHTTPRequestHandler):
             return
         queue = self.server.queue
         if action == "enqueue":
+            space = payload.get("space")
+            if isinstance(space, dict):
+                # Exploration round: a declarative search space plus point
+                # ids instead of a registered experiment name.
+                points = payload.get("points")
+                if not isinstance(points, list):
+                    self._send_json(400, {"error": 'explore enqueue needs "points"'})
+                    return
+                try:
+                    summary = queue.enqueue_explore(space, points)
+                except (KeyError, TypeError, ValueError) as error:
+                    self._send_json(400, {"error": str(error)})
+                    return
+                self.server.count("enqueues")
+                self._send_json(200, summary)
+                return
             experiment = payload.get("experiment")
             if not isinstance(experiment, str):
                 self._send_json(400, {"error": 'missing "experiment"'})

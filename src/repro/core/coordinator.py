@@ -91,10 +91,16 @@ class QueuedPartition:
     worker: Optional[str] = None
     deadline: float = 0.0
     attempts: int = 0
+    #: exploration partitions only: the declarative search-space dict and
+    #: the point ids this partition covers.  Primitive data, never a
+    #: machine config -- the worker re-derives the jobs from the space and
+    #: still verifies the advertised cache keys before trusting them.
+    space: Optional[dict] = None
+    points: Optional[list[int]] = None
 
     def descriptor(self) -> dict:
         """The wire form a worker needs to re-derive and verify the jobs."""
-        return {
+        descriptor = {
             "id": self.id,
             "experiment": self.experiment,
             "scale": self.scale,
@@ -103,6 +109,10 @@ class QueuedPartition:
             "keys": list(self.keys),
             "attempts": self.attempts,
         }
+        if self.space is not None:
+            descriptor["space"] = self.space
+            descriptor["points"] = list(self.points or ())
+        return descriptor
 
 
 def _partition_id(experiment: str, scale: float, index: int, keys: list[str]) -> str:
@@ -193,6 +203,59 @@ class JobQueue:
             "scale": scale,
             "partitions": len(partition_keys),
             "jobs": sum(len(keys) for keys in partition_keys),
+            "queued": queued,
+            "already_queued": already,
+        }
+
+    def enqueue_explore(self, space: dict, points: list[int]) -> dict:
+        """Queue one exploration round: the points' jobs partitioned by the
+        same trace-group/batched-replay rule experiment enqueues use.
+
+        The descriptor carries the declarative space plus each partition's
+        point ids, so workers derive jobs without a registry entry --
+        subject to the same cache-key verification (the keys embed the
+        source fingerprint, so version skew still nacks).  Idempotent per
+        round: re-enqueueing after a killed explorer re-queues only
+        partitions that are not already pending or leased.  Raises
+        ``KeyError``/``ValueError``/``TypeError`` on a malformed space.
+        """
+        from ..experiments.sweep import partition_jobs
+        from ..explore.space import SearchSpace
+
+        search_space = SearchSpace.from_dict(space)
+        point_ids = [int(point) for point in points]
+        jobs = search_space.jobs(point_ids)
+        point_of = dict(zip(jobs, point_ids))
+        partitions = partition_jobs(jobs)
+        now = self._clock()
+        queued = already = 0
+        with self._lock:
+            self._expire(now)
+            for index, partition in enumerate(partitions):
+                keys = [job.cache_key() for job in partition]
+                pid = _partition_id("explore", search_space.scale, index, keys)
+                existing = self._partitions.get(pid)
+                if existing is not None and existing.state in ("pending", "leased"):
+                    already += 1
+                    continue
+                self._partitions[pid] = QueuedPartition(
+                    id=pid,
+                    experiment="explore",
+                    scale=search_space.scale,
+                    index=index,
+                    total=len(partitions),
+                    keys=keys,
+                    space=dict(space),
+                    points=[point_of[job] for job in partition],
+                )
+                self._pending.append(pid)
+                queued += 1
+        return {
+            "experiment": "explore",
+            "kernel": search_space.kernel,
+            "scale": search_space.scale,
+            "partitions": len(partitions),
+            "jobs": len(jobs),
             "queued": queued,
             "already_queued": already,
         }
@@ -380,6 +443,12 @@ class CoordinatorClient:
     def enqueue(self, experiment: str, scale: float = 0.5) -> Optional[dict]:
         return self._post(
             "/v1/queue/enqueue", {"experiment": experiment, "scale": scale}
+        )
+
+    def enqueue_explore(self, space: dict, points: list[int]) -> Optional[dict]:
+        """Queue one exploration round (see :meth:`JobQueue.enqueue_explore`)."""
+        return self._post(
+            "/v1/queue/enqueue", {"space": space, "points": list(points)}
         )
 
     def lease(self) -> Optional[dict]:

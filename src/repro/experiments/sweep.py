@@ -73,6 +73,7 @@ __all__ = [
     "LocalPoolAdapter",
     "SerialAdapter",
     "batch_partitions",
+    "partition_jobs",
     "execute_job",
     "execute_trace_group",
     "simulate_traced_group",
@@ -187,6 +188,21 @@ def batch_partitions(jobs: Sequence[KernelJob]) -> list[list[KernelJob]]:
     for job in jobs:
         groups.setdefault(replay_group_key(job.config), []).append(job)
     return list(groups.values())
+
+
+def partition_jobs(jobs: Sequence[KernelJob]) -> list[list[KernelJob]]:
+    """Any job set split into the fleet's lease-sized units: first by trace
+    spec (one partition replays one captured trace), then by batched-replay
+    partition (:func:`batch_partitions`).  Deterministic given the source
+    tree -- the coordinator and every worker derive identical partitions,
+    whether the jobs came from an experiment or an exploration round."""
+    groups: dict[TraceSpec, list[KernelJob]] = {}
+    for job in jobs:
+        groups.setdefault(job.trace_spec(), []).append(job)
+    partitions: list[list[KernelJob]] = []
+    for group in groups.values():
+        partitions.extend(batch_partitions(group))
+    return partitions
 
 
 def simulate_traced_group(
@@ -552,6 +568,30 @@ class ParallelSweepEngine:
         persisted to the store *before* their callback fires, so partial
         sweep progress survives an interrupted batch.
         """
+        return self._run_jobs(jobs, on_result, collect=True)
+
+    def stream_jobs(
+        self,
+        jobs: Sequence[KernelJob],
+        on_result: Optional[OnResult] = None,
+    ) -> int:
+        """:meth:`run_jobs` without materializing anything: outcomes flow
+        through ``on_result`` only, and neither the returned dict nor the
+        in-process memo is populated -- peak memory is one in-flight
+        partition, independent of batch size, which is what makes
+        10^5-job explorations and streaming assemblers safe.  Persistence
+        is unchanged (results still hit the store before each callback);
+        returns the number of distinct jobs processed.
+        """
+        distinct = self._run_jobs(jobs, on_result, collect=False)
+        return len(distinct)
+
+    def _run_jobs(
+        self,
+        jobs: Sequence[KernelJob],
+        on_result: Optional[OnResult],
+        collect: bool,
+    ) -> Any:
         distinct = list(dict.fromkeys(jobs))
         total = len(distinct)
         outcomes: dict[KernelJob, JobOutcome] = {}
@@ -559,7 +599,8 @@ class ParallelSweepEngine:
 
         def emit(job: KernelJob, outcome: JobOutcome) -> None:
             nonlocal completed
-            outcomes[job] = outcome
+            if collect:
+                outcomes[job] = outcome
             completed += 1
             if on_result is not None:
                 on_result(job, outcome, completed, total)
@@ -580,19 +621,23 @@ class ParallelSweepEngine:
                 continue
             stored = self._from_store(job)
             if stored is not None:
-                self._memo[job] = stored
+                if collect:
+                    self._memo[job] = stored
                 emit(job, stored)
                 continue
             pending.append(job)
 
         def record(job: KernelJob, outcome: JobOutcome) -> None:
             self.computed += 1
-            self._memo[job] = outcome
+            if collect:
+                self._memo[job] = outcome
             self._to_store(job, outcome)
             emit(job, outcome)
 
         if pending:
             self._execute_streaming(pending, record)
+        if not collect:
+            return distinct
         # Return in the caller's job order regardless of completion order.
         return {job: outcomes[job] for job in distinct}
 

@@ -1,0 +1,46 @@
+"""Design-space exploration: adaptive Pareto search over machine configs.
+
+The subsystem behind ``python -m repro explore``: declare a
+:class:`SearchSpace` (axes over scheme, engine geometry, cache/L2-compute
+geometry, DRAM variant), hand it to an :class:`Explorer`, and get back the
+Pareto frontier of cycles vs area vs energy -- evaluating (and above all
+*simulating*) far fewer points than the full grid, with search state
+checkpointed in the content-addressed store so a killed search resumes
+with zero re-simulation.
+"""
+
+from .explorer import ExploreSummary, Explorer, exhaustive_frontier
+from .pareto import (
+    DEFAULT_OBJECTIVES,
+    FrontierPoint,
+    ParetoFrontier,
+    PointMetrics,
+    metrics_from_outcome,
+)
+from .space import AXIS_NAMES, Axis, DRAM_PRESETS, SearchSpace, default_space
+from .state import RoundRecord, SearchState, load_state, save_state, state_key
+from .strategy import STRATEGY_NAMES, Strategy, get_strategy
+
+__all__ = [
+    "AXIS_NAMES",
+    "Axis",
+    "DEFAULT_OBJECTIVES",
+    "DRAM_PRESETS",
+    "ExploreSummary",
+    "Explorer",
+    "FrontierPoint",
+    "ParetoFrontier",
+    "PointMetrics",
+    "RoundRecord",
+    "STRATEGY_NAMES",
+    "SearchSpace",
+    "SearchState",
+    "Strategy",
+    "default_space",
+    "exhaustive_frontier",
+    "get_strategy",
+    "load_state",
+    "metrics_from_outcome",
+    "save_state",
+    "state_key",
+]

@@ -1,0 +1,361 @@
+"""Declarative search spaces over the machine-configuration axes.
+
+A :class:`SearchSpace` is the explorer's input: one kernel/lowering plus a
+list of named :class:`Axis` objects, each a finite ordered set of primitive
+values (ints, floats, or names).  Points are addressed by a single integer
+id in mixed-radix order (first axis most significant), so a space is fully
+described by a small JSON dict -- which is what lets search state live in
+the content-addressed :class:`~repro.core.cache.ResultStore` and lets a
+fleet coordinator ship whole exploration rounds over the wire without ever
+serializing a :class:`~repro.core.config.MachineConfig`.
+
+Every point compiles down to the existing sweep machinery: ``job(point)``
+builds a one-point :class:`~repro.experiments.sweep.SweepSpec` and takes its
+single :class:`~repro.experiments.sweep.KernelJob`, and ``sweep_specs()``
+compiles the whole grid into per-config SweepSpecs whose union is exactly
+the point set -- so exploration jobs hash to the same cache keys an
+equivalent hand-written sweep would, and every downstream stage (trace
+store, batched replay, fleet partitions) works unchanged.
+
+Axes are interpreted by a fixed registry of appliers over the *default*
+configuration; values stay primitive on the wire (DRAM variants are named
+presets, not serialized timing structs) so a skewed peer can never inject
+an unkeyed machine configuration -- the job cache keys, which embed the
+source fingerprint, remain the only trust anchor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from ..core.cache import code_fingerprint, stable_hash
+from ..core.config import MachineConfig, default_config
+from ..memory.dram import DRAMConfig
+from ..sram.array import EngineGeometry, SramArrayGeometry
+from ..sram.schemes import SCHEME_NAMES
+from ..experiments.sweep import KernelJob, SweepSpec
+
+__all__ = [
+    "AXIS_NAMES",
+    "Axis",
+    "DRAM_PRESETS",
+    "SearchSpace",
+    "default_space",
+]
+
+#: named DRAM variants (LPDDR4X-3733 baseline per Table IV); presets keep
+#: axis values primitive -- the wire form names a variant, never ships
+#: timing structs
+DRAM_PRESETS: dict[str, DRAMConfig] = {
+    "lpddr4x": DRAMConfig(),
+    "lpddr4x-slow": DRAMConfig(t_cas=50, t_rcd=62, t_rp=62, peak_bytes_per_cycle=8.0),
+    "lpddr5": DRAMConfig(
+        t_cas=34, t_rcd=42, t_rp=42, t_burst=6, peak_bytes_per_cycle=18.0
+    ),
+    "lpddr5-2ch": DRAMConfig(
+        num_channels=2, t_cas=34, t_rcd=42, t_rp=42, t_burst=6,
+        peak_bytes_per_cycle=9.0,
+    ),
+}
+
+
+def _replace_cache(config: MachineConfig, level: str, **changes: Any) -> MachineConfig:
+    hierarchy = config.hierarchy
+    cache = replace(getattr(hierarchy, level), **changes)
+    return replace(config, hierarchy=replace(hierarchy, **{level: cache}))
+
+
+def _replace_engine(config: MachineConfig, **changes: Any) -> MachineConfig:
+    engine = config.engine
+    return replace(
+        config,
+        engine=EngineGeometry(
+            num_arrays=changes.get("num_arrays", engine.num_arrays),
+            arrays_per_control_block=changes.get(
+                "arrays_per_control_block", engine.arrays_per_control_block
+            ),
+            array=changes.get("array", engine.array),
+        ),
+    )
+
+
+def _apply_num_arrays(config: MachineConfig, value: Any) -> MachineConfig:
+    return config.with_arrays(int(value))
+
+
+def _apply_arrays_per_cb(config: MachineConfig, value: Any) -> MachineConfig:
+    return _replace_engine(config, arrays_per_control_block=int(value))
+
+
+def _apply_array_rows(config: MachineConfig, value: Any) -> MachineConfig:
+    array = SramArrayGeometry(rows=int(value), cols=config.engine.array.cols)
+    return _replace_engine(config, array=array)
+
+
+def _apply_array_cols(config: MachineConfig, value: Any) -> MachineConfig:
+    # Bit-lines per array: together with num_arrays this sets simd_lanes,
+    # so this axis changes the capture-stage trace spec, not just timing.
+    array = SramArrayGeometry(rows=config.engine.array.rows, cols=int(value))
+    return _replace_engine(config, array=array)
+
+
+def _apply_l2_compute_ways(config: MachineConfig, value: Any) -> MachineConfig:
+    return replace(config, l2_compute_ways=int(value))
+
+
+def _apply_l2_size_kb(config: MachineConfig, value: Any) -> MachineConfig:
+    return _replace_cache(config, "l2", size_bytes=int(value) * 1024)
+
+
+def _apply_l2_ways(config: MachineConfig, value: Any) -> MachineConfig:
+    return _replace_cache(config, "l2", ways=int(value))
+
+
+def _apply_llc_size_kb(config: MachineConfig, value: Any) -> MachineConfig:
+    return _replace_cache(config, "llc", size_bytes=int(value) * 1024)
+
+
+def _apply_dram(config: MachineConfig, value: Any) -> MachineConfig:
+    return replace(
+        config, hierarchy=replace(config.hierarchy, dram=DRAM_PRESETS[str(value)])
+    )
+
+
+#: axis name -> applier over the default config; "scheme" is handled
+#: specially because it flows through SweepSpec.schemes / KernelJob rather
+#: than the config applier chain
+_APPLIERS: dict[str, Callable[[MachineConfig, Any], MachineConfig]] = {
+    "num_arrays": _apply_num_arrays,
+    "arrays_per_control_block": _apply_arrays_per_cb,
+    "array_rows": _apply_array_rows,
+    "array_cols": _apply_array_cols,
+    "l2_compute_ways": _apply_l2_compute_ways,
+    "l2_size_kb": _apply_l2_size_kb,
+    "l2_ways": _apply_l2_ways,
+    "llc_size_kb": _apply_llc_size_kb,
+    "dram": _apply_dram,
+}
+
+AXIS_NAMES: tuple[str, ...] = ("scheme",) + tuple(sorted(_APPLIERS))
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named design dimension: an ordered, finite set of values."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(self.values))
+        if self.name not in AXIS_NAMES:
+            raise ValueError(
+                f"unknown axis {self.name!r}; known: {', '.join(AXIS_NAMES)}"
+            )
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"axis {self.name!r} repeats values: {self.values}")
+        if self.name == "scheme":
+            for value in self.values:
+                if value not in SCHEME_NAMES:
+                    raise ValueError(f"unknown scheme {value!r} on the scheme axis")
+        if self.name == "dram":
+            for value in self.values:
+                if value not in DRAM_PRESETS:
+                    raise ValueError(
+                        f"unknown DRAM preset {value!r}; "
+                        f"known: {', '.join(DRAM_PRESETS)}"
+                    )
+
+    @property
+    def is_categorical(self) -> bool:
+        """Whether values are names (orderless) rather than magnitudes."""
+        return any(isinstance(value, str) for value in self.values)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Axis":
+        return cls(name=data["name"], values=tuple(data["values"]))
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The Cartesian grid one exploration searches, as declarative data."""
+
+    kernel: str
+    axes: tuple[Axis, ...]
+    kind: str = "mve"
+    scale: float = 0.5
+
+    def __post_init__(self):
+        object.__setattr__(self, "axes", tuple(self.axes))
+        if self.kind not in ("mve", "rvv"):
+            raise ValueError(f"unknown trace kind {self.kind!r}")
+        if not self.axes:
+            raise ValueError("a search space needs at least one axis")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axes: {names}")
+        from ..workloads import kernel_names
+
+        if self.kernel not in kernel_names():
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; known: {', '.join(kernel_names())}"
+            )
+
+    # -- point addressing ----------------------------------------------- #
+
+    @property
+    def size(self) -> int:
+        return math.prod(len(axis.values) for axis in self.axes)
+
+    def shape(self) -> tuple[int, ...]:
+        return tuple(len(axis.values) for axis in self.axes)
+
+    def point_indices(self, point: int) -> tuple[int, ...]:
+        """Mixed-radix digits of ``point`` (first axis most significant)."""
+        if not 0 <= point < self.size:
+            raise IndexError(f"point {point} outside space of {self.size}")
+        digits = []
+        for radix in reversed(self.shape()):
+            digits.append(point % radix)
+            point //= radix
+        return tuple(reversed(digits))
+
+    def point_from_indices(self, indices: tuple[int, ...]) -> int:
+        point = 0
+        for index, radix in zip(indices, self.shape()):
+            point = point * radix + index
+        return point
+
+    def point_values(self, point: int) -> dict[str, Any]:
+        return {
+            axis.name: axis.values[index]
+            for axis, index in zip(self.axes, self.point_indices(point))
+        }
+
+    # -- compilation to the sweep machinery ------------------------------ #
+
+    def config_for(self, point: int) -> tuple[MachineConfig, str]:
+        """The point's machine configuration and scheme name.
+
+        Built by folding the axis appliers over the *default* config -- the
+        declarative form never carries a config, so two peers agreeing on
+        the space dict and the source fingerprint agree on every job key.
+        """
+        config = default_config()
+        scheme = config.scheme_name
+        for axis, index in zip(self.axes, self.point_indices(point)):
+            value = axis.values[index]
+            if axis.name == "scheme":
+                scheme = str(value)
+            else:
+                config = _APPLIERS[axis.name](config, value)
+        return config, scheme
+
+    def _point_spec(self, point: int) -> SweepSpec:
+        config, scheme = self.config_for(point)
+        return SweepSpec(
+            name=f"explore:{self.kernel}",
+            kernels=[(self.kernel, {"scale": self.scale})],
+            kinds=(self.kind,),
+            schemes=(scheme,),
+            base_config=config,
+        )
+
+    def job(self, point: int) -> KernelJob:
+        """The point's simulation job, compiled through a one-point
+        :class:`SweepSpec` so explorer jobs are bit-identical (same cache
+        keys) to an equivalent hand-written sweep."""
+        (job,) = self._point_spec(point).jobs()
+        return job
+
+    def jobs(self, points: list[int]) -> list[KernelJob]:
+        return [self.job(point) for point in points]
+
+    def sweep_specs(self) -> list[SweepSpec]:
+        """The whole grid as SweepSpecs, scheme axis folded into
+        ``SweepSpec.schemes`` -- the union of their job sets is exactly the
+        point set (asserted in tests), which is what "compiles down to the
+        existing sweep machinery" means here."""
+        groups: dict[tuple, dict] = {}
+        for point in range(self.size):
+            values = self.point_values(point)
+            key = tuple((k, v) for k, v in values.items() if k != "scheme")
+            entry = groups.setdefault(key, {"point": point, "schemes": []})
+            scheme = values.get("scheme")
+            if scheme is not None and scheme not in entry["schemes"]:
+                entry["schemes"].append(scheme)
+        specs = []
+        for entry in groups.values():
+            config, scheme = self.config_for(entry["point"])
+            specs.append(
+                SweepSpec(
+                    name=f"explore:{self.kernel}",
+                    kernels=[(self.kernel, {"scale": self.scale})],
+                    kinds=(self.kind,),
+                    schemes=tuple(entry["schemes"]) or (scheme,),
+                    base_config=config,
+                )
+            )
+        return specs
+
+    # -- identity and wire form ------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "kind": self.kind,
+            "scale": self.scale,
+            "axes": [axis.to_dict() for axis in self.axes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchSpace":
+        return cls(
+            kernel=data["kernel"],
+            kind=data.get("kind", "mve"),
+            scale=float(data.get("scale", 0.5)),
+            axes=tuple(Axis.from_dict(axis) for axis in data["axes"]),
+        )
+
+    def key(self) -> str:
+        """Content hash of the space *and* the source tree -- the namespace
+        search state checkpoints under.  Embedding the fingerprint keeps a
+        resumed search consistent with its per-job results, which are keyed
+        the same way."""
+        return stable_hash(
+            {
+                "namespace": "explore-space",
+                "fingerprint": code_fingerprint(),
+                "space": self.to_dict(),
+            }
+        )
+
+    def describe(self) -> str:
+        axes = " x ".join(f"{axis.name}[{len(axis.values)}]" for axis in self.axes)
+        return (
+            f"{self.kernel}/{self.kind} (scale={self.scale}): "
+            f"{axes} = {self.size} points"
+        )
+
+
+def default_space(kernel: str = "csum", scale: float = 0.5, kind: str = "mve") -> SearchSpace:
+    """The stock ~200-point space the CLI searches when no axes are given:
+    scheme x engine size x L2 compute ways x DRAM variant."""
+    return SearchSpace(
+        kernel=kernel,
+        kind=kind,
+        scale=scale,
+        axes=(
+            Axis("scheme", SCHEME_NAMES),
+            Axis("num_arrays", (8, 16, 32, 64)),
+            Axis("l2_compute_ways", (2, 4, 6)),
+            Axis("dram", tuple(DRAM_PRESETS)),
+        ),
+    )

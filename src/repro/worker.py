@@ -78,8 +78,28 @@ def resolve_partition_jobs(partition: dict):
     would let a skewed coordinator inject unkeyed work); instead the
     worker recomputes :func:`~repro.experiments.registry.experiment_partitions`
     and trusts it only if the advertised job cache keys match exactly.
+    Exploration partitions carry a declarative search-space dict plus point
+    ids instead of an experiment name -- same trust model: the jobs are
+    re-derived locally from primitive data and the advertised keys (which
+    embed the source fingerprint) must match exactly, or the partition is
+    nacked.
     """
     from .experiments.registry import ExperimentOptions, experiment_partitions
+
+    space = partition.get("space")
+    if isinstance(space, dict):
+        from .explore.space import SearchSpace
+
+        points = partition.get("points")
+        if not isinstance(points, list):
+            return None
+        try:
+            jobs = SearchSpace.from_dict(space).jobs([int(p) for p in points])
+        except (IndexError, KeyError, TypeError, ValueError):
+            return None
+        if [job.cache_key() for job in jobs] != partition.get("keys"):
+            return None
+        return jobs
 
     experiment = partition.get("experiment")
     index = partition.get("index")

@@ -169,6 +169,53 @@ class TestTraceCommand:
             cli_main(["--cache-dir", str(tmp_path), "trace", "capture"])
 
 
+class TestTraceDiff:
+    def test_diffs_mve_against_rvv_instruction_mix(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["--cache-dir", cache_dir, "trace", "diff", "csum",
+                "--scale", "0.25", "--against", "kind=rvv"]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "base:" in out and "against:" in out
+        assert "csum/mve" in out and "csum/rvv" in out
+        assert "Dynamic instruction mix" in out
+        assert "ratio" in out and "delta" in out
+        assert "Per-opcode counts" in out
+
+        # Both sides cached now: a re-diff captures nothing.
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("[cache]") == 2
+        assert "captured in" not in out
+
+    def test_against_overrides_scale_and_lanes(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path / "cache"), "trace", "diff", "csum",
+                "--scale", "0.25", "--against", "scale=0.5,lanes=4096"]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "scale=0.25" in out and "scale=0.5" in out
+
+    def test_missing_or_malformed_against_is_rejected(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with pytest.raises(SystemExit, match="pass --against"):
+            cli_main(["--cache-dir", cache_dir, "trace", "diff", "csum"])
+        with pytest.raises(SystemExit, match="bad --against entry"):
+            cli_main(["--cache-dir", cache_dir, "trace", "diff", "csum",
+                      "--against", "rvv"])
+        with pytest.raises(SystemExit, match="bad --against entry"):
+            cli_main(["--cache-dir", cache_dir, "trace", "diff", "csum",
+                      "--against", "warp=9"])
+        with pytest.raises(SystemExit, match="unknown kernel"):
+            cli_main(["--cache-dir", cache_dir, "trace", "diff", "csum",
+                      "--against", "kernel=nope"])
+        with pytest.raises(SystemExit, match="unknown kind"):
+            cli_main(["--cache-dir", cache_dir, "trace", "diff", "csum",
+                      "--against", "kind=avx"])
+        with pytest.raises(SystemExit, match="scale must be a number"):
+            cli_main(["--cache-dir", cache_dir, "trace", "diff", "csum",
+                      "--against", "scale=fast"])
+
+
 class TestCacheCommand:
     def test_info_and_clear(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")

@@ -1,0 +1,816 @@
+"""Design-space explorer tests: spaces, frontiers, resume, fleet, CLI.
+
+The contract under test: an adaptive search finds the *exact* Pareto
+frontier of the exhaustive grid while evaluating (and above all
+simulating) fewer configurations; the frontier is invariant to the order
+results arrive in (hypothesis); a search SIGKILLed mid-round resumes to
+the identical frontier with zero re-simulation; exploration rounds drain
+through the fleet coordinator with zero local simulation; and the
+streaming assemble/stream_jobs path keeps engine memory flat.
+
+The frontier export schema is pinned by ``tests/golden/
+explore_frontier_schema.json``; regenerate after an intentional change
+with::
+
+    PYTHONPATH=src python tests/test_explore.py --update-schema
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import explore_export_payload, main as cli_main, schema_outline
+from repro.core.area import AreaReport
+from repro.core.cache import ResultStore
+from repro.core.cache_service import CacheServer
+from repro.core.coordinator import CoordinatorClient, JobQueue
+from repro.core.energy import EnergyBreakdown
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentOptions, build_runner, run_experiment
+from repro.experiments.sweep import ParallelSweepEngine, SweepSpec
+from repro.explore import (
+    DEFAULT_OBJECTIVES,
+    Axis,
+    Explorer,
+    FrontierPoint,
+    ParetoFrontier,
+    PointMetrics,
+    SearchSpace,
+    default_space,
+    exhaustive_frontier,
+    get_strategy,
+)
+from repro.worker import resolve_partition_jobs, run_worker
+
+settings.register_profile("repro", deadline=None, max_examples=50)
+settings.load_profile("repro")
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+EXPLORE_SCHEMA_GOLDEN = os.path.join(GOLDEN_DIR, "explore_frontier_schema.json")
+
+SEED = 7
+SCALE = 0.25
+
+
+def small_space(scale: float = SCALE) -> SearchSpace:
+    """16 points: 2 schemes x 4 engine sizes x 2 L2 compute-way settings."""
+    return SearchSpace(
+        kernel="csum",
+        scale=scale,
+        axes=(
+            Axis("scheme", ("bit-serial", "bit-parallel")),
+            Axis("num_arrays", (8, 16, 32, 64)),
+            Axis("l2_compute_ways", (2, 4)),
+        ),
+    )
+
+
+def tiny_space(scale: float = SCALE) -> SearchSpace:
+    """8 points, cheap enough for the fleet round trip."""
+    return SearchSpace(
+        kernel="csum",
+        scale=scale,
+        axes=(
+            Axis("scheme", ("bit-serial", "bit-parallel")),
+            Axis("num_arrays", (16, 32)),
+            Axis("l2_compute_ways", (2, 4)),
+        ),
+    )
+
+
+def frontier_dicts(members) -> list:
+    return [member.to_dict() for member in members]
+
+
+# ---------------------------------------------------------------------- #
+#  SearchSpace: addressing, validation, compilation to the sweep machinery
+# ---------------------------------------------------------------------- #
+
+
+class TestSearchSpace:
+    def test_round_trips_through_its_wire_form(self):
+        space = small_space()
+        assert SearchSpace.from_dict(space.to_dict()) == space
+        assert SearchSpace.from_dict(json.loads(json.dumps(space.to_dict()))) == space
+
+    def test_point_addressing_is_bijective(self):
+        space = small_space()
+        seen = set()
+        for point in range(space.size):
+            indices = space.point_indices(point)
+            assert space.point_from_indices(indices) == point
+            seen.add(indices)
+        assert len(seen) == space.size
+        values = space.point_values(0)
+        assert set(values) == {"scheme", "num_arrays", "l2_compute_ways"}
+        with pytest.raises(IndexError):
+            space.point_indices(space.size)
+
+    def test_validation_rejects_bad_axes_and_spaces(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            Axis("warp_speed", (1, 2))
+        with pytest.raises(ValueError, match="no values"):
+            Axis("num_arrays", ())
+        with pytest.raises(ValueError, match="repeats"):
+            Axis("num_arrays", (8, 8))
+        with pytest.raises(ValueError, match="unknown scheme"):
+            Axis("scheme", ("bit-sideways",))
+        with pytest.raises(ValueError, match="unknown DRAM preset"):
+            Axis("dram", ("ddr2",))
+        with pytest.raises(ValueError, match="unknown kernel"):
+            SearchSpace(kernel="nope", axes=(Axis("num_arrays", (8,)),))
+        with pytest.raises(ValueError, match="unknown trace kind"):
+            SearchSpace(kernel="csum", kind="avx", axes=(Axis("num_arrays", (8,)),))
+        with pytest.raises(ValueError, match="at least one axis"):
+            SearchSpace(kernel="csum", axes=())
+        with pytest.raises(ValueError, match="duplicate axes"):
+            SearchSpace(
+                kernel="csum",
+                axes=(Axis("num_arrays", (8,)), Axis("num_arrays", (16,))),
+            )
+
+    def test_compiles_to_sweep_specs_covering_exactly_the_point_set(self):
+        """The tentpole's "compiles down to the existing machinery" claim:
+        the union of the compiled SweepSpecs' job sets is exactly the point
+        set, so explorer jobs share cache keys with hand-written sweeps."""
+        space = small_space()
+        point_jobs = {space.job(point) for point in range(space.size)}
+        spec_jobs = {job for spec in space.sweep_specs() for job in spec.jobs()}
+        assert spec_jobs == point_jobs
+        assert len(point_jobs) == space.size
+
+    def test_geometry_axes_reach_the_trace_spec(self):
+        """array_cols changes bit-lines and therefore simd_lanes: the
+        capture stage must see it, not just the timing model."""
+        space = SearchSpace(
+            kernel="csum",
+            scale=SCALE,
+            axes=(Axis("array_cols", (128, 256)),),
+        )
+        narrow, wide = space.job(0), space.job(1)
+        assert narrow.trace_spec() != wide.trace_spec()
+        assert narrow.config.simd_lanes != wide.config.simd_lanes
+
+    def test_dram_axis_applies_named_presets(self):
+        space = SearchSpace(
+            kernel="csum", scale=SCALE, axes=(Axis("dram", ("lpddr4x", "lpddr5")),)
+        )
+        base, fast = (space.config_for(point)[0] for point in (0, 1))
+        assert fast.hierarchy.dram.t_cas < base.hierarchy.dram.t_cas
+        # Wire form stays primitive: the preset name, never a struct.
+        assert space.to_dict()["axes"][0]["values"] == ["lpddr4x", "lpddr5"]
+
+    def test_key_embeds_space_identity(self):
+        space, other = small_space(), tiny_space()
+        assert len(space.key()) == 64
+        assert space.key() != other.key()
+        assert "csum" in space.describe() and "16 points" in space.describe()
+
+
+# ---------------------------------------------------------------------- #
+#  ParetoFrontier: dominance, ties, idempotence, order invariance
+# ---------------------------------------------------------------------- #
+
+
+def member(point: int, cycles: float, area: float, energy: float) -> FrontierPoint:
+    metrics = PointMetrics(
+        cycles=float(cycles),
+        time_us=float(cycles) / 10.0,
+        energy=EnergyBreakdown(
+            compute_nj=float(energy), data_access_nj=0.0, cpu_nj=0.0, static_nj=0.0
+        ),
+        area=AreaReport(modules_mm2={"m": float(area)}),
+    )
+    return FrontierPoint(
+        point=point, values={"p": point}, cache_key="ab" * 32, metrics=metrics
+    )
+
+
+class TestParetoFrontier:
+    def test_dominated_arrivals_are_rejected_and_prune_on_insert(self):
+        frontier = ParetoFrontier()
+        assert frontier.update(member(0, 100, 1.0, 50))
+        assert not frontier.update(member(1, 110, 1.0, 50))  # dominated
+        assert frontier.update(member(2, 90, 0.5, 40))  # dominates point 0
+        assert [m.point for m in frontier.points] == [2]
+
+    def test_equal_vectors_are_both_kept(self):
+        frontier = ParetoFrontier()
+        assert frontier.update(member(0, 100, 1.0, 50))
+        assert frontier.update(member(1, 100, 1.0, 50))
+        assert [m.point for m in frontier.points] == [0, 1]
+
+    def test_update_is_idempotent_per_point_id(self):
+        frontier = ParetoFrontier()
+        assert frontier.update(member(3, 100, 1.0, 50))
+        assert not frontier.update(member(3, 100, 1.0, 50))
+        assert len(frontier) == 1
+
+    def test_incomparable_points_coexist(self):
+        frontier = ParetoFrontier(objectives=("cycles", "area"))
+        frontier.update(member(0, 100, 2.0, 0))
+        frontier.update(member(1, 200, 1.0, 0))
+        assert len(frontier) == 2
+
+    def test_unknown_objectives_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown objectives"):
+            ParetoFrontier(objectives=("cycles", "beauty"))
+        with pytest.raises(ValueError, match="at least one"):
+            ParetoFrontier(objectives=())
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 5), st.integers(1, 5), st.integers(1, 5)
+            ),
+            min_size=1,
+            max_size=16,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_frontier_is_invariant_to_arrival_order(self, vectors, rng):
+        members = [
+            member(index, cycles, area, energy)
+            for index, (cycles, area, energy) in enumerate(vectors)
+        ]
+        ordered = ParetoFrontier()
+        for m in members:
+            ordered.update(m)
+        shuffled = list(members)
+        rng.shuffle(shuffled)
+        permuted = ParetoFrontier()
+        for m in shuffled:
+            permuted.update(m)
+        assert frontier_dicts(ordered.points) == frontier_dicts(permuted.points)
+
+
+class TestStrategies:
+    def test_unknown_strategy_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            get_strategy("simulated-annealing")
+
+    def test_frontier_seed_grid_covers_categories_and_endpoints(self):
+        import random
+
+        space = small_space()
+        strategy = get_strategy("frontier")
+        from repro.explore.state import SearchState
+
+        state = SearchState(
+            space=space.to_dict(), seed=0, strategy="frontier", objectives=DEFAULT_OBJECTIVES
+        )
+        seeds = strategy.propose(space, state, random.Random(0), batch=99)
+        values = [space.point_values(point) for point in seeds]
+        assert {v["scheme"] for v in values} == {"bit-serial", "bit-parallel"}
+        assert {v["num_arrays"] for v in values} == {8, 64}  # endpoints only
+        assert {v["l2_compute_ways"] for v in values} == {2, 4}
+
+
+# ---------------------------------------------------------------------- #
+#  Acceptance: exact frontier, fewer evaluations; resume semantics
+# ---------------------------------------------------------------------- #
+
+
+class TestAdaptiveSearch:
+    def test_finds_exact_frontier_evaluating_fewer_points(self, tmp_path):
+        space = small_space()
+        store = ResultStore(tmp_path / "cache")
+        summary = Explorer(
+            space, store=store, jobs=1, strategy="frontier", seed=SEED
+        ).run(budget=space.size, max_rounds=64)
+        assert summary.state.done
+        assert len(summary.state.evaluated) < space.size  # measurably fewer
+        # Ground truth shares the store, so it only simulates the skipped
+        # interior points.
+        exact = exhaustive_frontier(space, store=store, seed=SEED)
+        assert frontier_dicts(summary.state.frontier) == frontier_dicts(exact)
+
+    def test_resumed_search_is_a_zero_simulation_no_op(self, tmp_path):
+        space = small_space()
+        store = ResultStore(tmp_path / "cache")
+        first = Explorer(space, store=store, jobs=1, seed=SEED).run(budget=space.size)
+        again = Explorer(space, store=store, jobs=1, seed=SEED).run(budget=space.size)
+        assert again.simulated_this_run == 0
+        assert again.state.done
+        assert frontier_dicts(again.state.frontier) == frontier_dicts(
+            first.state.frontier
+        )
+
+    def test_resume_with_a_bigger_budget_continues_the_checkpoint(self, tmp_path):
+        space = small_space()
+        store = ResultStore(tmp_path / "cache")
+        partial = Explorer(space, store=store, jobs=1, seed=SEED).run(budget=4)
+        assert not partial.state.done
+        evaluated_then = len(partial.state.evaluated)
+        assert 0 < evaluated_then <= 4
+        # Budget is not part of the state key: the bigger run resumes and
+        # only simulates the points the partial run never touched.
+        resumed = Explorer(space, store=store, jobs=1, seed=SEED).run(budget=space.size)
+        assert resumed.state.done
+        assert resumed.simulated_this_run == len(resumed.state.evaluated) - evaluated_then
+
+    def test_random_strategy_stays_deterministic_per_seed(self, tmp_path):
+        space = small_space()
+        a = Explorer(
+            space, store=ResultStore(tmp_path / "a"), jobs=1,
+            strategy="random", seed=3, batch=5,
+        ).run(budget=10)
+        b = Explorer(
+            space, store=ResultStore(tmp_path / "b"), jobs=1,
+            strategy="random", seed=3, batch=5,
+        ).run(budget=10)
+        assert sorted(a.state.evaluated) == sorted(b.state.evaluated)
+        assert frontier_dicts(a.state.frontier) == frontier_dicts(b.state.frontier)
+
+
+KILLED_CHILD = textwrap.dedent(
+    """
+    import json, os, signal, sys
+
+    from repro.core.cache import ResultStore
+    from repro.explore import Explorer, SearchSpace
+
+    cache_dir, space_json, seed = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    space = SearchSpace.from_dict(json.loads(space_json))
+    progress = os.path.join(cache_dir, "progress.log")
+
+    def killer(job, outcome, completed, total):
+        with open(progress, "a") as handle:
+            handle.write(job.cache_key() + "\\n")
+        if sum(1 for _ in open(progress)) == 3:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    Explorer(space, store=ResultStore(cache_dir), jobs=1, seed=seed).run(
+        budget=space.size, on_result=killer
+    )
+    """
+)
+
+
+class TestKillAndResume:
+    def test_sigkill_mid_round_resumes_with_zero_resimulation(self, tmp_path):
+        """The child is SIGKILLed inside the third on_result callback --
+        after those results hit the store but before any checkpoint is
+        written.  The resumed search replays the same seeded proposals,
+        answers the three completed points from the store, and converges
+        to the reference frontier having simulated exactly the rest."""
+        space = small_space()
+        reference = Explorer(
+            space, store=ResultStore(tmp_path / "reference"), jobs=1, seed=SEED
+        ).run(budget=space.size)
+        total_simulated = reference.simulated_this_run
+        assert total_simulated > 3
+
+        victim_dir = tmp_path / "victim"
+        victim_dir.mkdir()
+        script = tmp_path / "child.py"
+        script.write_text(KILLED_CHILD)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        env.pop("REPRO_REMOTE_CACHE", None)
+        completed = subprocess.run(
+            [
+                sys.executable,
+                str(script),
+                str(victim_dir),
+                json.dumps(space.to_dict()),
+                str(SEED),
+            ],
+            env=env,
+            timeout=120,
+        )
+        assert completed.returncode == -signal.SIGKILL
+        survived = len((victim_dir / "progress.log").read_text().splitlines())
+        assert survived == 3
+
+        resumed = Explorer(
+            space, store=ResultStore(victim_dir), jobs=1, seed=SEED
+        ).run(budget=space.size)
+        assert resumed.state.done
+        # Zero re-simulation: the three pre-kill results are recalled, so
+        # the resumed run simulates exactly the remainder.
+        assert resumed.simulated_this_run == total_simulated - survived
+        assert frontier_dicts(resumed.state.frontier) == frontier_dicts(
+            reference.state.frontier
+        )
+
+
+# ---------------------------------------------------------------------- #
+#  Streaming: stream_jobs memory ceiling and the registry assemble seam
+# ---------------------------------------------------------------------- #
+
+STREAM_NAME = "explore-stream-mini"
+
+
+@dataclass
+class StreamMiniResult:
+    cycles: dict
+
+    def to_dict(self) -> dict:
+        return {"cycles": dict(self.cycles)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamMiniResult":
+        return cls(cycles=dict(data["cycles"]))
+
+
+def _stream_specs(options):
+    return (
+        SweepSpec(
+            name=STREAM_NAME,
+            kernels=[("csum", {"scale": SCALE}), ("memcpy", {"scale": SCALE})],
+            schemes=("bit-serial", "bit-parallel"),
+        ),
+    )
+
+
+def _stream_assemble_batch(runner, options):
+    cycles = {}
+    for spec in _stream_specs(options):
+        for job in spec.jobs():
+            outcome = runner.engine.run_one(job)
+            cycles[f"{job.kernel}/{job.scheme_name}"] = outcome.result.total_cycles
+    return StreamMiniResult(cycles=cycles)
+
+
+class _StreamFolder:
+    def __init__(self):
+        self.cycles = {}
+
+    def on_result(self, job, outcome, completed, total):
+        self.cycles[f"{job.kernel}/{job.scheme_name}"] = outcome.result.total_cycles
+
+    def result(self):
+        return StreamMiniResult(cycles=self.cycles)
+
+
+@pytest.fixture
+def stream_experiment():
+    experiment = registry.register_experiment(
+        STREAM_NAME,
+        "streaming assemble test experiment",
+        StreamMiniResult,
+        _stream_assemble_batch,
+        _stream_specs,
+        stream_assemble=lambda runner, options: _StreamFolder(),
+    )
+    yield experiment
+    registry._REGISTRY.pop(STREAM_NAME, None)
+
+
+class TestStreaming:
+    def test_stream_jobs_never_grows_the_memo(self, tmp_path):
+        """The memory ceiling the 10^5-job claim rests on: streaming keeps
+        the engine's per-job memo empty (results live only in the store),
+        where the collecting path memoizes every outcome."""
+        jobs = _stream_specs(None)[0].jobs()
+        streaming = ParallelSweepEngine(jobs=1, store=ResultStore(tmp_path / "s"))
+        seen = []
+        processed = streaming.stream_jobs(
+            jobs, on_result=lambda job, outcome, done, total: seen.append(job)
+        )
+        assert processed == len(jobs) == len(seen)
+        assert len(streaming._memo) == 0
+        assert streaming.computed == len(jobs)
+
+        collecting = ParallelSweepEngine(jobs=1, store=ResultStore(tmp_path / "c"))
+        collecting.run_jobs(jobs)
+        assert len(collecting._memo) == len(jobs)
+
+    def test_stream_results_persist_before_each_callback(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        engine = ParallelSweepEngine(jobs=1, store=store)
+
+        def assert_persisted(job, outcome, completed, total):
+            assert store.load(job.cache_key()) is not None
+
+        engine.stream_jobs(_stream_specs(None)[0].jobs(), on_result=assert_persisted)
+
+    def test_registry_streams_through_the_assemble_seam(
+        self, stream_experiment, tmp_path
+    ):
+        runner = build_runner(jobs=1, store=ResultStore(tmp_path / "cache"))
+        result = run_experiment(STREAM_NAME, runner=runner, options=ExperimentOptions())
+        # The streamed fold matches the batch assembly bit for bit...
+        reference = _stream_assemble_batch(
+            build_runner(jobs=1, store=ResultStore(tmp_path / "ref")),
+            ExperimentOptions(),
+        )
+        assert result.to_dict() == reference.to_dict()
+        # ...without materializing a single outcome in the engine memo.
+        assert len(runner.engine._memo) == 0
+        # The assembled result is cached like any other experiment's.
+        warm = build_runner(jobs=1, store=ResultStore(tmp_path / "cache"))
+        again = run_experiment(STREAM_NAME, runner=warm, options=ExperimentOptions())
+        assert again.to_dict() == result.to_dict()
+        assert warm.engine.computed == 0
+
+
+# ---------------------------------------------------------------------- #
+#  Fleet: exploration rounds as coordinator partitions
+# ---------------------------------------------------------------------- #
+
+
+class TestFleetExplore:
+    def test_resolve_explore_partition_validates_like_experiments(self):
+        space = tiny_space()
+        queue = JobQueue(lease_ttl_s=60.0)
+        points = list(range(space.size))
+        summary = queue.enqueue_explore(space.to_dict(), points)
+        assert summary["experiment"] == "explore"
+        assert summary["jobs"] == space.size
+        assert summary["queued"] == summary["partitions"] >= 1
+
+        partition, _ = queue.lease("w1")
+        assert partition["experiment"] == "explore"
+        jobs = resolve_partition_jobs(partition)
+        assert jobs is not None
+        assert [job.cache_key() for job in jobs] == partition["keys"]
+        assert [space.job(p).cache_key() for p in partition["points"]] == partition[
+            "keys"
+        ]
+
+        # Version skew / tampering nacks instead of simulating wrong work.
+        assert resolve_partition_jobs({**partition, "keys": ["00" * 32]}) is None
+        assert (
+            resolve_partition_jobs({**partition, "points": partition["points"][:-1]})
+            is None
+        )
+        assert resolve_partition_jobs({**partition, "points": "0,1"}) is None
+        bad_space = {**partition, "space": {"kernel": "nope", "axes": []}}
+        assert resolve_partition_jobs(bad_space) is None
+
+    def test_enqueue_explore_is_idempotent_while_queued(self):
+        space = tiny_space()
+        queue = JobQueue(lease_ttl_s=60.0)
+        first = queue.enqueue_explore(space.to_dict(), [0, 1])
+        again = queue.enqueue_explore(space.to_dict(), [0, 1])
+        assert again["queued"] == 0
+        assert again["already_queued"] == first["queued"]
+
+    def test_fleet_drains_exploration_and_searcher_simulates_nothing(self, tmp_path):
+        space = tiny_space()
+        srv = CacheServer(("127.0.0.1", 0), root=tmp_path / "server")
+        srv.start_in_background()
+        try:
+            client = CoordinatorClient(srv.url, worker_id="enqueuer")
+            summary = client.enqueue_explore(
+                space.to_dict(), list(range(space.size))
+            )
+            assert summary["jobs"] == space.size
+
+            report = run_worker(
+                srv.url,
+                cache_dir=str(tmp_path / "worker"),
+                worker_id="worker",
+                drain=True,
+                poll_s=0.05,
+            )
+            assert report.mismatched == 0
+            assert report.acked == summary["partitions"]
+            assert len(report.simulated_keys()) == space.size
+
+            # The searcher rides the fleet's results: every point answered
+            # from the shared tier, zero local simulation.
+            searcher_store = ResultStore(tmp_path / "searcher", remote=srv.url)
+            explorer = Explorer(
+                space,
+                store=searcher_store,
+                jobs=1,
+                strategy="exhaustive",
+                seed=SEED,
+                coordinator=CoordinatorClient(srv.url, worker_id="searcher"),
+            )
+            result = explorer.run(budget=space.size)
+            assert len(result.state.evaluated) == space.size
+            assert explorer.engine.computed == 0
+            assert result.simulated_this_run == 0
+
+            local = Explorer(
+                space,
+                store=ResultStore(tmp_path / "local"),
+                jobs=1,
+                strategy="exhaustive",
+                seed=SEED,
+            ).run(budget=space.size)
+            assert frontier_dicts(result.state.frontier) == frontier_dicts(
+                local.state.frontier
+            )
+        finally:
+            srv.shutdown()
+            srv.server_close()
+
+
+# ---------------------------------------------------------------------- #
+#  Serializable-result surface: metrics round trips and export rows
+# ---------------------------------------------------------------------- #
+
+
+class TestMetricsSerialization:
+    def test_area_report_round_trips_ignoring_derived_fields(self):
+        report = AreaReport(modules_mm2={"tmu": 0.01, "fsm": 0.02})
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["total_mm2"] == pytest.approx(report.total_mm2)
+        assert data["overhead_percent"] == pytest.approx(report.overhead_percent)
+        restored = AreaReport.from_dict(data)
+        assert restored == report
+
+    def test_frontier_point_round_trips_through_json(self):
+        original = member(5, 120, 0.8, 33)
+        restored = FrontierPoint.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert restored == original
+        assert restored.metrics.area.total_mm2 == pytest.approx(0.8)
+        assert restored.metrics.energy.total_nj == pytest.approx(33.0)
+
+    def test_export_payload_carries_area_and_energy_per_frontier_point(self, tmp_path):
+        space = tiny_space()
+        store = ResultStore(tmp_path / "cache")
+        explorer = Explorer(space, store=store, jobs=1, seed=SEED)
+        summary = explorer.run(budget=space.size)
+        payload = explore_export_payload(space, summary.state)
+        assert payload["explore"]["space_size"] == space.size
+        assert payload["explore"]["evaluated"] == len(summary.state.evaluated)
+        (first, *_rest) = payload["frontier"]
+        assert set(first["metrics"]["area"]) >= {"modules_mm2", "total_mm2"}
+        assert "compute_nj" in first["metrics"]["energy"]
+
+        from repro.cli import _export_rows
+
+        rows = _export_rows(payload)
+        assert len(rows) == len(payload["frontier"])
+        assert "metrics.area.total_mm2" in rows[0]
+        assert "metrics.cycles" in rows[0]
+
+
+# ---------------------------------------------------------------------- #
+#  CLI: run/status/frontier/export, resume summary, schema golden
+# ---------------------------------------------------------------------- #
+
+CLI_AXES = [
+    "--axis", "scheme=bit-serial,bit-parallel",
+    "--axis", "num_arrays=16,32",
+    "--axis", "l2_compute_ways=2,4",
+]
+
+
+def explore_argv(cache_dir, action, *extra):
+    return [
+        "--cache-dir", str(cache_dir), "explore", action, "csum",
+        "--scale", str(SCALE), "--seed", str(SEED), "--jobs", "1",
+        *CLI_AXES, *extra,
+    ]
+
+
+class TestExploreCLI:
+    def test_run_reports_and_resume_simulates_nothing(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert cli_main(explore_argv(cache_dir, "run", "--budget", "8")) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out and "simulated this run" in out
+
+        assert cli_main(explore_argv(cache_dir, "run", "--budget", "8")) == 0
+        captured = capsys.readouterr()
+        assert "0 simulated this run" in captured.out
+
+    def test_status_frontier_and_export_actions(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert cli_main(
+            explore_argv(cache_dir, "run", "--budget", "8", "--no-progress")
+        ) == 0
+        capsys.readouterr()
+
+        assert cli_main(explore_argv(cache_dir, "status")) == 0
+        out = capsys.readouterr().out
+        assert "strategy frontier, seed 7" in out
+        assert "round" in out and "proposed" in out
+
+        assert cli_main(explore_argv(cache_dir, "frontier")) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "num_arrays" in out and "area_mm2" in out
+
+        out_path = tmp_path / "frontier.json"
+        assert cli_main(
+            explore_argv(cache_dir, "export", "--out", str(out_path))
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["explore"]["kernel"] == "csum"
+        assert payload["space"]["axes"][0]["name"] == "scheme"
+        assert payload["frontier"]
+
+    def test_csv_export_rows_are_frontier_points(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert cli_main(
+            explore_argv(
+                cache_dir, "run", "--budget", "8", "--no-progress",
+                "--export", "csv",
+            )
+        ) == 0
+        import csv as csv_module
+
+        rows = list(csv_module.DictReader(capsys.readouterr().out.splitlines()))
+        assert rows
+        assert all(float(row["metrics.cycles"]) > 0 for row in rows)
+        assert "metrics.area.total_mm2" in rows[0]
+
+    def test_inspection_without_state_or_bad_flags_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no saved search"):
+            cli_main(explore_argv(tmp_path / "empty", "status"))
+        with pytest.raises(SystemExit, match="bad --axis"):
+            cli_main(
+                ["--cache-dir", str(tmp_path), "explore", "run", "csum",
+                 "--axis", "num_arrays"]
+            )
+        with pytest.raises(SystemExit, match="unknown axis"):
+            cli_main(
+                ["--cache-dir", str(tmp_path), "explore", "run", "csum",
+                 "--axis", "warp=1,2"]
+            )
+        with pytest.raises(SystemExit, match="unknown objectives"):
+            cli_main(
+                explore_argv(tmp_path, "run", "--objectives", "cycles,beauty")
+            )
+
+    def test_export_schema_matches_golden(self, tmp_path):
+        """The frontier export schema is pinned alongside the experiment
+        goldens; the outline is value-free, so the small axes here pin the
+        same shape the CI default-space smoke exports."""
+        cache_dir = tmp_path / "cache"
+        out_path = tmp_path / "frontier.json"
+        assert cli_main(
+            explore_argv(
+                cache_dir, "run", "--budget", "8", "--no-progress",
+                "--export", "json", "--out", str(out_path),
+            )
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        with open(EXPLORE_SCHEMA_GOLDEN) as handle:
+            golden = json.load(handle)
+        assert _axis_free_outline(schema_outline(payload)) == golden
+
+
+def _axis_free_outline(outline):
+    """The export outline with per-space axis names normalized away: the
+    ``values`` dict of a frontier point keys on the searched axes, which
+    are configuration, not schema."""
+    if isinstance(outline, dict):
+        return {
+            key: ("axis-values" if key == "values" else _axis_free_outline(value))
+            for key, value in outline.items()
+        }
+    if isinstance(outline, list):
+        return [_axis_free_outline(item) for item in outline]
+    return outline
+
+
+# ---------------------------------------------------------------------- #
+#  Golden regeneration:
+#  PYTHONPATH=src python tests/test_explore.py --update-schema
+# ---------------------------------------------------------------------- #
+
+
+def _update_schema_golden() -> None:
+    import tempfile
+
+    os.environ.pop("REPRO_REMOTE_CACHE", None)
+    cache_dir = tempfile.mkdtemp(prefix="repro-explore-schema-")
+    out_path = os.path.join(tempfile.mkdtemp(), "frontier.json")
+    argv = explore_argv(
+        cache_dir, "run", "--budget", "8", "--no-progress",
+        "--export", "json", "--out", out_path,
+    )
+    assert cli_main(argv) == 0
+    with open(out_path) as handle:
+        payload = json.load(handle)
+    with open(EXPLORE_SCHEMA_GOLDEN, "w") as handle:
+        json.dump(
+            _axis_free_outline(schema_outline(payload)),
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    print(f"updated {EXPLORE_SCHEMA_GOLDEN}")
+
+
+if __name__ == "__main__":
+    if "--update-schema" in sys.argv:
+        _update_schema_golden()
+    else:
+        raise SystemExit(
+            "usage: PYTHONPATH=src python tests/test_explore.py --update-schema"
+        )
