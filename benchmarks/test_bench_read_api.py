@@ -1,0 +1,85 @@
+"""Perf smoke check for the read API.
+
+The read surface exists to make a warm store cheap to publish: a 304
+revalidation must not load or parse the record, and full reads must not
+serialize behind a lock.  This check drives keep-alive readers against a
+served store and fails if throughput ever regresses to
+parse-per-request speed.  Floors are conservative (a laptop does two
+orders of magnitude better) so the gate survives slow CI hosts.
+"""
+
+import http.client
+import threading
+import time
+
+from repro.cli import main as cli_main
+from repro.core.cache_service import CacheServer
+
+_SCALE = 0.1
+_THREADS = 4
+_REQUESTS_EACH = 100
+
+
+def _drive(server, conditional):
+    host, port = server.server_address[:2]
+    path = f"/v1/experiments/tables?scale={_SCALE}"
+    headers = {}
+    if conditional:
+        probe = http.client.HTTPConnection(host, port, timeout=30)
+        probe.request("GET", path)
+        response = probe.getresponse()
+        response.read()
+        headers = {"If-None-Match": response.headers["ETag"]}
+        probe.close()
+    errors = []
+
+    def reader():
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for _ in range(_REQUESTS_EACH):
+                connection.request("GET", path, headers=headers)
+                response = connection.getresponse()
+                response.read()
+                if response.status not in (200, 304):
+                    raise AssertionError(f"status {response.status}")
+        except Exception as error:  # noqa: BLE001 - reported below
+            errors.append(repr(error))
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=reader) for _ in range(_THREADS)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    return _THREADS * _REQUESTS_EACH / elapsed
+
+
+def test_read_api_sustains_concurrent_reads(tmp_path):
+    cache_dir = tmp_path / "store"
+    assert cli_main(["--cache-dir", str(cache_dir), "run", "tables",
+                     "--scale", str(_SCALE), "--no-progress"]) == 0
+    server = CacheServer(("127.0.0.1", 0), root=cache_dir)
+    server.start_in_background()
+    try:
+        full_rps = _drive(server, conditional=False)
+        revalidate_rps = _drive(server, conditional=True)
+    finally:
+        server.shutdown()
+        server.server_close()
+    assert full_rps > 20, f"full reads at {full_rps:.0f} req/s"
+    assert revalidate_rps > 100, f"304 revalidations at {revalidate_rps:.0f} req/s"
+    # The 304 path skips the record load/parse entirely, so it must beat
+    # full reads by a wide structural margin, not a rounding error.
+    assert revalidate_rps > full_rps * 2, (
+        f"revalidations ({revalidate_rps:.0f} req/s) barely beat full reads "
+        f"({full_rps:.0f} req/s): is the 304 path loading the record?"
+    )
+    print(
+        f"read API: {full_rps:.0f} req/s full reads, "
+        f"{revalidate_rps:.0f} req/s revalidations "
+        f"({_THREADS} keep-alive readers)"
+    )

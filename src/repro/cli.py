@@ -1,5 +1,5 @@
 """Unified experiment CLI:
-``python -m repro {list,run,trace,explore,cache,serve,queue,worker}``.
+``python -m repro {list,run,trace,explore,cache,serve,export,queue,worker}``.
 
 Every table/figure of the paper is a registered experiment; ``run`` executes
 one end to end (sharded over worker processes, answered from the persistent
@@ -55,6 +55,15 @@ after a single warning.  ``cache`` then reports both tiers (including the
 coordinator queue, when one is active); ``cache sync`` bulk-pushes local
 entries the service is missing.
 
+The service also exposes a token-free read API for result consumers:
+``GET /v1/experiments`` lists registered experiments with availability and
+``GET /v1/experiments/<name>`` serves the assembled result byte-identical
+to the CLI export, with ETag/304 revalidation, ``Accept``-driven JSON/CSV
+negotiation and ``offset``/``limit`` pagination.  ``export`` renders the
+same documents into a static dataset directory without simulating::
+
+    python -m repro export --all --out repro-export
+
 The same service doubles as a sweep *coordinator* (fleet mode)::
 
     python -m repro serve --port 8750 --token s3cret   # coordinator
@@ -72,9 +81,6 @@ bit-identical to a single-machine run.
 from __future__ import annotations
 
 import argparse
-import csv
-import io
-import json
 import os
 import sys
 import time
@@ -82,6 +88,18 @@ from pathlib import Path
 from typing import Optional, Sequence, TextIO
 
 from .core.cache import ResultStore
+from .experiments.export import (
+    EXPORT_SCHEMA_VERSION,
+    columns as _columns,
+    experiment_export_payload,
+    explore_export_payload,
+    export_rows as _export_rows,
+    export_static_dataset,
+    render_payload,
+    rows_to_csv as _rows_to_csv,
+    schema_outline,
+    sweep_export_payload,
+)
 from .experiments.registry import (
     ExperimentOptions,
     all_experiments,
@@ -89,7 +107,7 @@ from .experiments.registry import (
     get_experiment,
     run_experiment,
 )
-from .experiments.serialize import flatten, result_rows
+from .experiments.serialize import result_rows
 from .experiments.sweep import (
     JobOutcome,
     KernelJob,
@@ -111,13 +129,11 @@ __all__ = [
     "main",
     "named_sweep",
     "named_sweep_names",
+    "render_payload",
     "run_sweep",
     "schema_outline",
     "sweep_export_payload",
 ]
-
-#: bump when the structure of exported JSON/CSV payloads changes
-EXPORT_SCHEMA_VERSION = 1
 
 
 # ---------------------------------------------------------------------- #
@@ -183,133 +199,23 @@ def run_sweep(
 # ---------------------------------------------------------------------- #
 #  Exports
 # ---------------------------------------------------------------------- #
-
-
-def experiment_export_payload(
-    name: str, options: ExperimentOptions, result, elapsed_s: float = 0.0
-) -> dict:
-    """The JSON document ``run <experiment> --export json`` writes."""
-    return {
-        "schema": EXPORT_SCHEMA_VERSION,
-        "experiment": name,
-        "options": options.to_dict(),
-        "elapsed_s": elapsed_s,
-        "result": result.to_dict(),
-    }
-
-
-def sweep_export_payload(sweep: SweepResult) -> dict:
-    """The JSON document ``run --sweep/--kernels --export json`` writes."""
-    return {
-        "schema": EXPORT_SCHEMA_VERSION,
-        "sweep": sweep.spec.name,
-        "elapsed_s": sweep.elapsed_s,
-        "jobs": [
-            {
-                "kernel": job.kernel,
-                "kind": job.kind,
-                "scale": job.scale,
-                "kwargs": dict(job.kwargs),
-                "scheme": job.scheme_name,
-                "cache_key": job.cache_key(),
-                "source": outcome.source,
-                "spills": outcome.spills,
-                "result": outcome.result.to_dict(),
-            }
-            for job, outcome in sweep.outcomes.items()
-        ],
-    }
-
-
-def explore_export_payload(space, state, elapsed_s: float = 0.0) -> dict:
-    """The JSON document ``explore export`` / ``explore run --export`` writes.
-
-    ``space`` is a :class:`~repro.explore.space.SearchSpace` and ``state``
-    the :class:`~repro.explore.state.SearchState` to publish; the frontier
-    rows carry the full serialized :class:`PointMetrics` (cycles, time,
-    energy breakdown, area report) per surviving point.
-    """
-    return {
-        "schema": EXPORT_SCHEMA_VERSION,
-        "explore": {
-            "kernel": space.kernel,
-            "kind": space.kind,
-            "scale": space.scale,
-            "strategy": state.strategy,
-            "seed": state.seed,
-            "objectives": list(state.objectives),
-            "space_size": space.size,
-            "evaluated": len(state.evaluated),
-            "simulated": state.simulated_total,
-            "rounds": len(state.rounds),
-            "done": state.done,
-        },
-        "space": space.to_dict(),
-        "elapsed_s": elapsed_s,
-        "frontier": [member.to_dict() for member in state.frontier],
-    }
-
-
-def schema_outline(payload) -> object:
-    """The type-shape of a JSON payload, independent of its values.
-
-    Dicts keep their (sorted) keys, lists collapse to the outline of their
-    first element, and scalars become type names.  Two exports of the same
-    experiment at different dataset scales produce the same outline, which
-    is what the CI schema-drift gate compares against the checked-in golden.
-    """
-    if isinstance(payload, dict):
-        return {key: schema_outline(value) for key, value in sorted(payload.items())}
-    if isinstance(payload, list):
-        return [schema_outline(payload[0])] if payload else []
-    if isinstance(payload, bool):
-        return "bool"
-    if isinstance(payload, int):
-        return "int"
-    if isinstance(payload, float):
-        return "float"
-    if payload is None:
-        return "null"
-    return "str"
-
-
-def _columns(rows: list[dict]) -> list[str]:
-    """Union of row keys, preserving first-seen order."""
-    columns: list[str] = []
-    for row in rows:
-        for key in row:
-            if key not in columns:
-                columns.append(key)
-    return columns
-
-
-def _rows_to_csv(rows: list[dict], out: TextIO) -> None:
-    writer = csv.DictWriter(out, fieldnames=_columns(rows), restval="")
-    writer.writeheader()
-    writer.writerows(rows)
-
-
-def _export_rows(payload: dict) -> list[dict]:
-    if "jobs" in payload:  # sweep payload: one row per job
-        return [flatten(job) for job in payload["jobs"]]
-    if "frontier" in payload:  # explore payload: one row per frontier point
-        return [flatten(member) for member in payload["frontier"]]
-    return result_rows(payload["result"])
+#
+# The payload builders and renderers live in repro.experiments.export (the
+# read API and static exporter share them); the historical names stay
+# importable from here.
 
 
 def _write_export(payload: dict, fmt: str, out_path: Optional[str]) -> None:
-    if fmt == "json":
-        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    else:
-        buffer = io.StringIO()
-        _rows_to_csv(_export_rows(payload), buffer)
-        text = buffer.getvalue()
+    data = render_payload(payload, fmt)
     if out_path:
-        with open(out_path, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        # Binary mode on purpose: the rendered CSV bytes already carry the
+        # RFC-4180 \r\n terminators, and a text-mode write would double
+        # them to \r\r\n on platforms with newline translation.
+        with open(out_path, "wb") as handle:
+            handle.write(data)
         print(f"wrote {fmt} export to {out_path}")
     else:
-        sys.stdout.write(text)
+        sys.stdout.write(data.decode("utf-8"))
 
 
 # ---------------------------------------------------------------------- #
@@ -1070,8 +976,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         elapsed_s = time.perf_counter() - start
         payload = experiment_export_payload(
-            name, ExperimentOptions(scale=options.scale, config=runner.config), result,
-            elapsed_s=elapsed_s,
+            name, ExperimentOptions(scale=options.scale, config=runner.config), result
         )
         if args.export:
             _write_export(payload, args.export, args.out)
@@ -1086,6 +991,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _write_export(sweep_export_payload(sweep), args.export, args.out)
     else:
         _print_sweep(sweep, args, store)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """``export [NAMES...|--all]``: the static dataset surface.
+
+    Renders already-assembled results from the store into a directory of
+    JSON + CSV + ``index.json`` -- never simulating; a cold store fails
+    with one "not in store" line per missing experiment.
+    """
+    if args.all_experiments:
+        names = experiment_names()
+    else:
+        names = list(dict.fromkeys(args.names))
+    if not names:
+        raise SystemExit("export: pass experiment names or --all")
+    unknown = sorted(set(names) - set(experiment_names()))
+    if unknown:
+        raise SystemExit(
+            f"export: unknown experiments: {', '.join(unknown)} "
+            f"(available: {', '.join(experiment_names())})"
+        )
+    store = _store_for(args)
+    options = ExperimentOptions(scale=args.scale)
+    manifest, missing = export_static_dataset(store, args.out, names, options)
+    if missing:
+        for entry in missing:
+            hint = f"python -m repro run {entry['name']}"
+            if get_experiment(entry["name"]).uses_scale:
+                hint += f" --scale {args.scale:g}"
+            print(
+                f"export: {entry['name']}: not in store "
+                f"(key {entry['key'][:12]}...); warm it with `{hint}`",
+                file=sys.stderr,
+            )
+        print(
+            f"export: nothing written ({len(missing)} of {len(names)} "
+            f"experiments missing from {store.root})",
+            file=sys.stderr,
+        )
+        return 1
+    total_bytes = sum(
+        entry["bytes"]["json"] + entry["bytes"]["csv"]
+        for entry in manifest["experiments"]
+    )
+    print(
+        f"exported {len(manifest['experiments'])} experiments to {args.out} "
+        f"({total_bytes} bytes + index.json, zero simulation)"
+    )
     return 0
 
 
@@ -1244,6 +1198,30 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
     explorep.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     explorep.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
+    exportp = sub.add_parser(
+        "export",
+        help="render warm experiment results into a static dataset directory "
+        "(JSON + CSV + index manifest; never simulates)",
+    )
+    exportp.add_argument(
+        "names", nargs="*", default=[],
+        help=f"experiments to export ({', '.join(experiment_names())})",
+    )
+    exportp.add_argument(
+        "--all", action="store_true", dest="all_experiments",
+        help="export every registered experiment",
+    )
+    exportp.add_argument(
+        "--out", default="repro-export", metavar="DIR",
+        help="output directory (default: repro-export)",
+    )
+    exportp.add_argument(
+        "--scale", type=float, default=0.5,
+        help="dataset scale of the stored results to export (default 0.5)",
+    )
+    exportp.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    exportp.add_argument("--remote-cache", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
     serve = sub.add_parser(
         "serve",
         help="serve the result cache over HTTP and coordinate fleet sweeps",
@@ -1334,6 +1312,8 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
         return _cmd_trace(args)
     if args.command == "explore":
         return _cmd_explore(args)
+    if args.command == "export":
+        return _cmd_export(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "queue":

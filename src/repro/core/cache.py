@@ -227,8 +227,8 @@ class ResultStore:
 
     def load(self, key: str) -> Optional[dict]:
         """The stored payload for ``key``, or None on miss or corruption."""
-        record = self.backend.load(key)
-        if not isinstance(record, dict) or record.get("schema") != CACHE_SCHEMA_VERSION:
+        record = self.backend.load_checked(key)
+        if record is None:
             self.misses += 1
             self.last_tier = None
             return None

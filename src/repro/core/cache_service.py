@@ -6,22 +6,30 @@ fleet stops re-simulating jobs any member has already computed.  The wire
 protocol is deliberately tiny -- JSON records addressed by hex cache key,
 stdlib only on both sides:
 
-=====================  ====================================================
-``GET  /v1/entry/K``   200 + the record, or 404 on a miss
-``HEAD /v1/entry/K``   200 / 404 without a body
-``PUT  /v1/entry/K``   204; truncated or non-JSON bodies are rejected with
-                       400 and never stored (uploads are atomic)
-``GET  /v1/stats``     entry count, request counters and the job-queue
-                       snapshot, as JSON
-``POST /v1/keys``      ``{"keys": [...]}`` -> ``{"present": {key: bool}}``
-                       (batched existence probe)
-``POST /v1/entries``   ``{"get": [keys], "put": {key: record}}`` ->
-                       ``{"entries": {key: record-or-null}, "stored":
-                       [keys]}`` (bulk transfer: many keys, one round trip)
-``POST /v1/queue/*``   the sweep-coordinator surface
-                       (enqueue/lease/ack/nack/heartbeat); see
-                       :mod:`repro.core.coordinator`
-=====================  ====================================================
+==========================  ===============================================
+``GET  /v1/entry/K``        200 + the record, or 404 on a miss
+``HEAD /v1/entry/K``        200 / 404 without a body
+``PUT  /v1/entry/K``        204; truncated or non-JSON bodies are rejected
+                            with 400 and never stored (uploads are atomic)
+``GET  /v1/stats``          entry count, request counters and the job-queue
+                            snapshot, as JSON
+``GET  /v1/experiments``    registered experiments with per-store-key
+                            availability (``?scale=`` selects the options)
+``GET  /v1/experiments/N``  the assembled result of experiment ``N``,
+                            byte-identical to the CLI export; ``ETag``
+                            derived from the store key with
+                            ``If-None-Match`` -> 304 revalidation,
+                            ``Accept: text/csv`` (or ``?format=csv``) for
+                            the row view, ``?offset=&limit=`` pagination
+``POST /v1/keys``           ``{"keys": [...]}`` -> ``{"present": {key:
+                            bool}}`` (batched existence probe)
+``POST /v1/entries``        ``{"get": [keys], "put": {key: record}}`` ->
+                            ``{"entries": {key: record-or-null}, "stored":
+                            [keys]}`` (bulk transfer, one round trip)
+``POST /v1/queue/*``        the sweep-coordinator surface
+                            (enqueue/lease/ack/nack/heartbeat); see
+                            :mod:`repro.core.coordinator`
+==========================  ===============================================
 
 When the server is started with a token (``--token`` /
 ``$REPRO_CACHE_TOKEN``), every **mutating** request -- ``PUT /v1/entry``,
@@ -102,10 +110,18 @@ class CacheRequestHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send_body(self, code: int, body: bytes) -> None:
+    def _send_body(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str = "application/json",
+        headers: Optional[dict] = None,
+    ) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         if self.command != "HEAD":
             self.wfile.write(body)
@@ -147,6 +163,10 @@ class CacheRequestHandler(BaseHTTPRequestHandler):
         if self.path == "/v1/stats":
             self._send_json(200, self.server.stats())
             return
+        path, _, query = self.path.partition("?")
+        if path == "/v1/experiments" or path.startswith("/v1/experiments/"):
+            self._get_experiments(path, query)
+            return
         key = self._entry_key()
         if key is None:
             self.server.count("bad_requests")
@@ -160,6 +180,169 @@ class CacheRequestHandler(BaseHTTPRequestHandler):
         else:
             self.server.count("hits_served")
             self._send_json(200, record)
+
+    # -- the read API: assembled experiment results ---------------------- #
+
+    @staticmethod
+    def _experiment_etag(key: str, fmt: str, offset: Optional[int], limit: Optional[int]) -> str:
+        """Per-representation validator derived from the store key.
+
+        The key already embeds the source fingerprint and options, so equal
+        tags imply byte-equal documents; format and pagination qualifiers
+        keep distinct representations from validating against each other.
+        """
+        tag = key
+        if fmt != "json":
+            tag += f".{fmt}"
+        if offset is not None or limit is not None:
+            tag += f".{offset or 0}.{'all' if limit is None else limit}"
+        return f'"{tag}"'
+
+    @staticmethod
+    def _etag_matches(header: Optional[str], etag: str) -> bool:
+        if not header:
+            return False
+        for candidate in header.split(","):
+            candidate = candidate.strip()
+            if candidate.startswith("W/"):
+                candidate = candidate[2:]
+            if candidate == etag or candidate == "*":
+                return True
+        return False
+
+    def _get_experiments(self, path: str, query: str) -> None:
+        """``GET /v1/experiments[/<name>]``: the token-free read surface.
+
+        Registry and export modules import lazily so a pure cache/queue
+        deployment never pays for (or depends on) the experiment stack.
+        """
+        from urllib.parse import parse_qs
+
+        from ..experiments import export as export_api
+        from ..experiments import registry
+
+        params = parse_qs(query)
+
+        def param(name: str) -> Optional[str]:
+            values = params.get(name)
+            return values[0] if values else None
+
+        try:
+            scale = float(param("scale")) if param("scale") is not None else 0.5
+        except ValueError:
+            self._send_json(400, {"error": f"bad scale {param('scale')!r}"})
+            return
+        options = registry.ExperimentOptions(scale=scale)
+
+        if path == "/v1/experiments":
+            self.server.count("experiment_gets")
+            self._send_json(
+                200,
+                {
+                    "schema": export_api.EXPORT_SCHEMA_VERSION,
+                    "scale": scale,
+                    "experiments": registry.experiment_catalog(
+                        self.backend.contains, options
+                    ),
+                },
+            )
+            return
+
+        name = path[len("/v1/experiments/") :]
+        try:
+            experiment = registry.get_experiment(name)
+        except KeyError:
+            self.server.count("experiment_misses")
+            self._send_json(
+                404,
+                {
+                    "error": f"unknown experiment {name!r}",
+                    "experiments": registry.experiment_names(),
+                },
+            )
+            return
+
+        fmt = param("format")
+        if fmt is None:
+            fmt = "csv" if "text/csv" in self.headers.get("Accept", "") else "json"
+        if fmt not in ("json", "csv"):
+            self._send_json(400, {"error": f"bad format {fmt!r} (choose json or csv)"})
+            return
+        window: dict[str, Optional[int]] = {"offset": None, "limit": None}
+        for field in window:
+            raw = param(field)
+            if raw is None:
+                continue
+            try:
+                value = int(raw)
+            except ValueError:
+                value = -1
+            if value < 0:
+                self._send_json(
+                    400, {"error": f"bad {field} {raw!r} (need a non-negative integer)"}
+                )
+                return
+            window[field] = value
+        offset, limit = window["offset"], window["limit"]
+
+        key = experiment.cache_key(options)
+        etag = self._experiment_etag(key, fmt, offset, limit)
+        headers = {"ETag": etag, "Vary": "Accept"}
+        if self._etag_matches(self.headers.get("If-None-Match"), etag) and self.backend.contains(key):
+            # Content-addressed revalidation without touching the record:
+            # matching tags plus a present key prove the representation is
+            # unchanged, which is what makes warm re-reads nearly free.
+            self.server.count("experiment_not_modified")
+            self.send_response(304)
+            for header_name, value in headers.items():
+                self.send_header(header_name, value)
+            self.end_headers()
+            return
+
+        record = self.backend.load_checked(key)
+        result_payload = registry.assembled_result_payload(name, record)
+        if result_payload is None:
+            self.server.count("experiment_misses")
+            hint = f"python -m repro run {name}"
+            if experiment.uses_scale:
+                hint += f" --scale {scale:g}"
+            self._send_json(
+                404,
+                {
+                    "error": f"experiment {name!r} is not in the store for these options",
+                    "key": key,
+                    "hint": f"warm it with: {hint}",
+                },
+            )
+            return
+
+        payload = export_api.experiment_export_payload(name, options, result_payload)
+        if offset is None and limit is None:
+            body = export_api.render_payload(payload, fmt)
+        else:
+            rows, fieldnames, total = export_api.paged_rows(payload, offset or 0, limit)
+            if fmt == "csv":
+                body = export_api.render_rows_csv(rows, fieldnames)
+            else:
+                body = (
+                    json.dumps(
+                        {
+                            "schema": export_api.EXPORT_SCHEMA_VERSION,
+                            "experiment": name,
+                            "options": options.to_dict(),
+                            "offset": offset or 0,
+                            "limit": limit,
+                            "total_rows": total,
+                            "rows": rows,
+                        },
+                        indent=2,
+                        sort_keys=True,
+                    )
+                    + "\n"
+                ).encode("utf-8")
+        self.server.count("experiment_gets")
+        content_type = "text/csv; charset=utf-8" if fmt == "csv" else "application/json"
+        self._send_body(200, body, content_type=content_type, headers=headers)
 
     def do_HEAD(self) -> None:
         key = self._entry_key()
@@ -420,6 +603,9 @@ class CacheServer(ThreadingHTTPServer):
             "unauthorized": 0,
             "entries_served": 0,
             "entries_stored": 0,
+            "experiment_gets": 0,
+            "experiment_not_modified": 0,
+            "experiment_misses": 0,
             "enqueues": 0,
             "leases": 0,
             "acks": 0,

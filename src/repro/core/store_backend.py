@@ -72,6 +72,17 @@ class StoreBackend(ABC):
     def clear(self) -> int:
         """Delete every record this backend owns; returns how many."""
 
+    def load_checked(self, key: str) -> Optional[dict]:
+        """The record for ``key`` only if it carries the current schema
+        marker; None otherwise.  The one schema gate every frontend shares
+        (:class:`~repro.core.cache.ResultStore` and the read API), so a
+        record written by an incompatible version can never leak out of any
+        door."""
+        record = self.load(key)
+        if not isinstance(record, dict) or record.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return record
+
     def stats(self) -> Optional[dict]:
         """Aggregate backend statistics (shape is backend-specific)."""
         return {"entries": len(self)}

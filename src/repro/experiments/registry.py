@@ -56,10 +56,14 @@ __all__ = [
     "Experiment",
     "ExperimentOptions",
     "all_experiments",
+    "assembled_result_payload",
     "build_runner",
+    "experiment_catalog",
     "experiment_names",
     "experiment_partitions",
+    "experiment_store_key",
     "get_experiment",
+    "load_assembled",
     "register_experiment",
     "run_experiment",
 ]
@@ -226,6 +230,72 @@ def experiment_partitions(
     experiment = get_experiment(name)
     options = options or ExperimentOptions()
     return partition_jobs(experiment.jobs(options))
+
+
+def experiment_store_key(name: str, options: Optional[ExperimentOptions] = None) -> str:
+    """Where ``name``'s assembled result lives in the store, without running
+    anything -- the address readers (the read API, the static exporter)
+    resolve before deciding whether a result is available."""
+    return get_experiment(name).cache_key(options or ExperimentOptions())
+
+
+def load_assembled(name: str, store, options: Optional[ExperimentOptions] = None):
+    """The assembled result for ``name`` from ``store`` alone, or None.
+
+    Never simulates: a cold store is answered with None, which is what lets
+    read-only consumers (``repro export``, the read API) make "zero
+    simulation" a structural guarantee instead of a promise.
+    """
+    experiment = get_experiment(name)
+    options = options or ExperimentOptions()
+    return load_cached_result(store, experiment.cache_key(options), experiment.result_type)
+
+
+def assembled_result_payload(name: str, record) -> Optional[dict]:
+    """The validated raw ``result`` dict inside a store record for ``name``.
+
+    Returns the payload only when it parses as the experiment's result type;
+    serving the stored dict verbatim (rather than re-serializing the parsed
+    object) keeps the read API byte-identical to the CLI export for free,
+    because ``to_dict``/``from_dict`` round trips are bit-exact.
+    """
+    experiment = get_experiment(name)
+    if not isinstance(record, dict):
+        return None
+    payload = record.get("result")
+    if not isinstance(payload, dict):
+        return None
+    try:
+        experiment.result_type.from_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+    return payload
+
+
+def experiment_catalog(
+    contains: Callable[[str], bool], options: Optional[ExperimentOptions] = None
+) -> list[dict]:
+    """One availability row per registered experiment.
+
+    ``contains`` is a store backend's existence probe; availability is
+    reported per store key, so the catalog tells a reader exactly which
+    documents ``GET /v1/experiments/<name>`` would answer right now.
+    """
+    options = options or ExperimentOptions()
+    rows = []
+    for experiment in all_experiments():
+        key = experiment.cache_key(options)
+        rows.append(
+            {
+                "name": experiment.name,
+                "description": experiment.description,
+                "uses_scale": experiment.uses_scale,
+                "jobs": len(experiment.jobs(options)),
+                "key": key,
+                "available": bool(contains(key)),
+            }
+        )
+    return rows
 
 
 def build_runner(

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
@@ -54,6 +55,9 @@ class ExploreSummary:
     #: warm rerun reports 0 here)
     simulated_this_run: int
     elapsed_s: float
+    #: fleet-drain rounds that hit ``fleet_timeout_s`` during this call and
+    #: fell back to local simulation
+    fleet_timeouts: int = 0
 
     @property
     def evaluated(self) -> int:
@@ -66,12 +70,15 @@ class ExploreSummary:
     def describe(self) -> str:
         state = self.state
         status = "converged" if state.done else "budget exhausted (resumable)"
+        fleet_note = (
+            f" | {self.fleet_timeouts} fleet timeouts" if self.fleet_timeouts else ""
+        )
         return (
             f"frontier {self.frontier_size} points | evaluated {self.evaluated}"
             f"/{self.space_size} configs ({state.simulated_total} simulated ever, "
             f"{self.space_size - self.evaluated} never simulated) | "
             f"{self.simulated_this_run} simulated this run | "
-            f"{len(state.rounds)} rounds, {status} | {self.elapsed_s:.1f}s"
+            f"{len(state.rounds)} rounds, {status} | {self.elapsed_s:.1f}s{fleet_note}"
         )
 
 
@@ -105,6 +112,11 @@ class Explorer:
         self.coordinator = coordinator
         self.fleet_poll_s = fleet_poll_s
         self.fleet_timeout_s = fleet_timeout_s
+        #: fleet-drain rounds that expired without the workers answering
+        #: every key (lifetime of this Explorer; per-run deltas go into
+        #: :attr:`ExploreSummary.fleet_timeouts`)
+        self.fleet_timeouts = 0
+        self._fleet_timeout_warned = False
         self.log = log or (lambda message: None)
 
     # -- state ----------------------------------------------------------- #
@@ -139,6 +151,7 @@ class Explorer:
         ``max_rounds`` rounds -- whichever first.  Resumes any checkpoint
         for (space, seed, strategy, objectives) transparently."""
         started = time.perf_counter()
+        fleet_timeouts_before = self.fleet_timeouts
         state = self.load_state() or self._fresh_state()
         frontier = ParetoFrontier(self.objectives)
         for member in state.frontier:
@@ -211,6 +224,7 @@ class Explorer:
             space_size=self.space.size,
             simulated_this_run=simulated_this_run,
             elapsed_s=time.perf_counter() - started,
+            fleet_timeouts=self.fleet_timeouts - fleet_timeouts_before,
         )
 
     # -- fleet round draining -------------------------------------------- #
@@ -234,7 +248,7 @@ class Explorer:
             return
         keys = [job.cache_key() for job in jobs]
         deadline = time.monotonic() + self.fleet_timeout_s
-        while time.monotonic() < deadline:
+        while True:
             present = remote.contains_batch(keys)
             if all(present.get(key) for key in keys):
                 return
@@ -243,6 +257,25 @@ class Explorer:
             if stats is not None and not queue.get("pending") and not queue.get("leased"):
                 # Queue fully drained but keys still missing (e.g. skewed
                 # workers nacked everything): simulate the rest locally.
+                return
+            if time.monotonic() >= deadline:
+                missing = sum(1 for key in keys if not present.get(key))
+                self.fleet_timeouts += 1
+                self.log(
+                    f"fleet: drain timed out after {self.fleet_timeout_s:g}s "
+                    f"({missing}/{len(keys)} keys unanswered); simulating locally"
+                )
+                if not self._fleet_timeout_warned:
+                    # One warning per Explorer (the PR 4 contract): every
+                    # further timeout is counted, not repeated.
+                    self._fleet_timeout_warned = True
+                    warnings.warn(
+                        f"fleet drain for {self.space.kernel} timed out after "
+                        f"{self.fleet_timeout_s:g}s; falling back to local "
+                        "simulation (see ExploreSummary.fleet_timeouts)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
                 return
             time.sleep(self.fleet_poll_s)
 

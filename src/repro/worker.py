@@ -193,14 +193,24 @@ def run_worker(
                     break
                 time.sleep(poll_s)
                 continue
+            partition_id = partition.get("id")
+            if not isinstance(partition_id, str) or not partition_id:
+                # A partition with no usable id cannot be nacked (the
+                # coordinator would 404 an empty id) or acked; count it as
+                # mismatched and let its lease -- if one even exists --
+                # expire on the coordinator.
+                report.mismatched += 1
+                say("partition without an id: malformed answer, skipping (no nack)")
+                time.sleep(poll_s)
+                continue
             partition_jobs = resolve_partition_jobs(partition)
             if partition_jobs is None:
                 report.mismatched += 1
                 say(
-                    f"partition {partition.get('id')}: local job derivation does "
+                    f"partition {partition_id}: local job derivation does "
                     "not match the advertised keys (version skew?); nacking"
                 )
-                client.nack(partition.get("id", ""), reason="partition key mismatch")
+                client.nack(partition_id, reason="partition key mismatch")
                 # A mismatch is deterministic for this worker's source tree:
                 # back off so a fully-skewed queue is not nack-spun.
                 time.sleep(poll_s)

@@ -32,7 +32,13 @@ def schema_cache_dir(tmp_path_factory):
     env = os.environ.get("REPRO_SWEEP_CACHE_DIR")
     if env:
         return env
-    return str(tmp_path_factory.mktemp("schema-cache"))
+    # A fixed name under the session basetemp (not mktemp, which numbers
+    # its directories): test_read_api resolves the same path, so the
+    # round-trip suite reuses these warm results instead of re-simulating
+    # all 11 experiments a second time.
+    root = tmp_path_factory.getbasetemp() / "schema-cache"
+    root.mkdir(exist_ok=True)
+    return str(root)
 
 
 class TestList:
@@ -125,6 +131,34 @@ class TestRunSweepCommand:
                 "--scale", "0.25", "--jobs", "1", "--no-progress"]
         assert cli_main(argv) == 0
         assert "[1/1]" not in capsys.readouterr().err
+
+
+class TestExportLineTerminators:
+    """Regression: ``_write_export`` wrote CSV text through a default
+    text-mode handle (no ``newline=""``), which doubled the csv module's
+    ``\\r\\n`` terminators to ``\\r\\r\\n`` on Windows.  Exports now write
+    rendered bytes, so the terminators are platform-independent."""
+
+    def test_csv_export_bytes_use_exact_crlf(self, tmp_path):
+        out_path = tmp_path / "tables.csv"
+        argv = ["--cache-dir", str(tmp_path / "cache"), "run", "tables",
+                "--jobs", "1", "--export", "csv", "--out", str(out_path)]
+        assert cli_main(argv) == 0
+        data = out_path.read_bytes()
+        assert b"\r\r\n" not in data
+        # Every line terminator is exactly \r\n (RFC 4180): as many bare
+        # newlines as CRLF pairs means no lone \n ever hits the file.
+        assert data.count(b"\n") == data.count(b"\r\n") > 0
+        assert data.endswith(b"\r\n")
+
+    def test_json_export_bytes_keep_bare_lf(self, tmp_path):
+        out_path = tmp_path / "tables.json"
+        argv = ["--cache-dir", str(tmp_path / "cache"), "run", "tables",
+                "--jobs", "1", "--export", "json", "--out", str(out_path)]
+        assert cli_main(argv) == 0
+        data = out_path.read_bytes()
+        assert b"\r" not in data
+        assert data.endswith(b"\n")
 
 
 class TestTraceCommand:

@@ -21,6 +21,7 @@ import signal
 import subprocess
 import sys
 import textwrap
+import warnings
 from dataclasses import dataclass
 
 import pytest
@@ -610,6 +611,56 @@ class TestFleetExplore:
         finally:
             srv.shutdown()
             srv.server_close()
+
+    def test_fleet_drain_timeout_warns_once_and_counts(self, tmp_path):
+        """Regression: the drain loop used to fall out of its deadline
+        silently -- the caller simulated everything locally with no
+        indication the fleet never answered.  Now each timed-out round
+        increments ``fleet_timeouts`` and the first one warns (the PR 4
+        one-warning contract)."""
+        space = tiny_space()
+        srv = CacheServer(("127.0.0.1", 0), root=tmp_path / "server")
+        srv.start_in_background()
+        try:
+            explorer = Explorer(
+                space,
+                store=ResultStore(tmp_path / "searcher", remote=srv.url),
+                jobs=1,
+                # "random" honors the batch cap ("exhaustive" proposes the
+                # whole grid in one round): 4 of 8 points per round -> two
+                # rounds -> two drain timeouts.
+                strategy="random",
+                seed=SEED,
+                batch=space.size // 2,
+                coordinator=CoordinatorClient(srv.url, worker_id="searcher"),
+                fleet_poll_s=0.02,
+                fleet_timeout_s=0.1,
+            )
+            # Partitions are enqueued but no worker ever leases them, so
+            # every round's drain poll must expire.
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                summary = explorer.run(budget=space.size)
+            timeout_warnings = [
+                w for w in caught if "fleet drain" in str(w.message)
+            ]
+            assert len(timeout_warnings) == 1  # once per Explorer, not per round
+            assert summary.fleet_timeouts == 2
+            assert explorer.fleet_timeouts == 2
+            assert "2 fleet timeouts" in summary.describe()
+            # The fallback still finishes the search locally.
+            assert len(summary.state.evaluated) == space.size
+            assert summary.simulated_this_run == space.size
+        finally:
+            srv.shutdown()
+            srv.server_close()
+
+    def test_fleet_summary_reports_zero_timeouts_on_healthy_drain(self, tmp_path):
+        space = tiny_space()
+        store = ResultStore(tmp_path / "cache")
+        summary = Explorer(space, store=store, jobs=1, seed=SEED).run(budget=space.size)
+        assert summary.fleet_timeouts == 0
+        assert "fleet timeouts" not in summary.describe()
 
 
 # ---------------------------------------------------------------------- #

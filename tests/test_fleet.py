@@ -718,6 +718,64 @@ class TestFleetFaultInjection:
             srv.shutdown()
             srv.server_close()
 
+    def test_partition_without_id_is_skipped_not_nacked(
+        self, mini_experiment, tmp_path
+    ):
+        """Regression: a lease answer whose partition lacks an ``id`` used
+        to be nacked with ``partition.get("id", "")`` -- an empty id the
+        coordinator 404s.  Now the worker logs and skips it (counting it
+        as mismatched) and never calls nack at all."""
+
+        class NoIdClient:
+            base_url = "stub://coordinator"
+            worker_id = "worker"
+            token = None
+            lease_ttl_s = 30.0
+            dead = False
+
+            def __init__(self):
+                self.nacks = []
+                self.leases = 0
+
+            def lease(self):
+                self.leases += 1
+                if self.leases == 1:
+                    return {
+                        "partition": {
+                            "experiment": MINI_NAME,
+                            "scale": MINI_SCALE,
+                        }
+                    }
+                return {"partition": None, "drained": True}
+
+            def nack(self, partition_id, reason=""):
+                self.nacks.append((partition_id, reason))
+
+            def ack(self, partition_id):
+                raise AssertionError("nothing to ack for an id-less partition")
+
+            def heartbeat(self):
+                pass
+
+        client = NoIdClient()
+        messages = []
+        report = run_worker(
+            "stub://coordinator",
+            worker_id="worker",
+            poll_s=0.01,
+            drain=True,
+            client=client,
+            store=ResultStore(tmp_path / "worker"),
+            log=messages.append,
+        )
+        assert report.mismatched == 1
+        assert report.acked == 0 and report.partitions == []
+        assert client.nacks == []  # never nack an id the coordinator 404s
+        assert any("without an id" in message for message in messages)
+        # The worker moved on and exited cleanly on the drained answer.
+        assert client.leases == 2
+        assert not report.coordinator_lost
+
     def test_resolve_partition_jobs_validates_the_descriptor(self, mini_experiment):
         partitions = experiment_partitions(MINI_NAME, mini_options())
         good = {
