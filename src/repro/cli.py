@@ -553,6 +553,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"payload: {trace_payload_bytes(payload['trace'])} bytes (columnar npz)")
         return 0
 
+    if args.bytes:
+        encoded = trace_payload_bytes(payload["trace"])
+        decoded = artifact.columnar_bytes()
+        print("\nTrace footprint:")
+        print(
+            format_table(
+                ["representation", "bytes", "per entry"],
+                [
+                    ["encoded envelope (store/wire)", encoded,
+                     f"{encoded / max(1, len(artifact)):.1f}"],
+                    ["decoded columnar (arena segment)", decoded,
+                     f"{decoded / max(1, len(artifact)):.1f}"],
+                ],
+            )
+        )
+        print(
+            "shipping per extra partition task: "
+            f"{decoded} bytes pickled without the arena, "
+            "~a few hundred (one handle) with it"
+        )
+
     stats = artifact.stats()
     mix = stats.as_dict()
     print("\nDynamic instruction mix:")
@@ -1125,6 +1146,12 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "python -m repro") ->
         "--configs", metavar="SWEEP", default=None,
         help="with `stats`: report how many configurations of the named "
         "sweep share one batched replay of this kernel's trace",
+    )
+    trace.add_argument(
+        "--bytes", action="store_true",
+        help="with `stats`: report the encoded envelope size and the "
+        "decoded columnar footprint (what one shared-memory arena "
+        "segment holds)",
     )
     trace.add_argument(
         "--no-cache", action="store_true", help="capture fresh, bypassing the trace cache"

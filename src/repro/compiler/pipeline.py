@@ -11,6 +11,17 @@ configurations, and every configuration that keeps the register-file
 geometry (array count and shape) recompiles to the *same* compiled kernel.
 Configs that only vary cache, DRAM, TMU or scheme parameters therefore skip
 scheduling and register allocation entirely.
+
+The memo is also the pool workers' cross-batch warm state: because keys
+embed ``id(trace)``, it only hits when the caller presents the *same trace
+object* again -- which is exactly what the shared-memory trace plane
+guarantees.  :func:`repro.core.trace_arena.attached_trace` memoizes one
+decoded entry list per spec per worker process, and the persistent
+``LocalPoolAdapter`` pool keeps those processes alive across batches, so
+repeated partitions over one trace skip scheduling and register allocation
+here no matter which batch they arrive in.  ``compile_cache_info`` exposes
+the hit/miss counters so tests and benchmarks can assert that warmth
+instead of guessing at it from wall clock.
 """
 
 from __future__ import annotations
@@ -25,7 +36,12 @@ from .liveness import LivenessInfo, analyze_liveness
 from .regalloc import AllocationResult, allocate_registers
 from .scheduler import schedule_trace
 
-__all__ = ["CompiledKernel", "compile_trace", "compile_trace_cached"]
+__all__ = [
+    "CompiledKernel",
+    "compile_cache_info",
+    "compile_trace",
+    "compile_trace_cached",
+]
 
 
 @dataclass
@@ -95,6 +111,21 @@ class _CompileMemo:
 
 
 _compile_memo = _CompileMemo()
+
+
+def compile_cache_info() -> dict:
+    """This process's compile-memo counters: hits, misses, entries, capacity.
+
+    In a pool worker the numbers describe *that worker's* memo (each
+    process has its own); the arena tests read them in-process to pin the
+    trace-identity contract that keeps the memo warm across batches.
+    """
+    return {
+        "hits": _compile_memo.hits,
+        "misses": _compile_memo.misses,
+        "entries": len(_compile_memo._entries),
+        "capacity": _compile_memo.capacity,
+    }
 
 
 def compile_trace_cached(

@@ -7,27 +7,39 @@ cache tier to a pluggable :class:`ExecutionAdapter`:
 
 * :class:`SerialAdapter` -- everything in-process, no pool ever created.
   The default for ``jobs=1`` (the interactive :class:`ExperimentRunner`).
-* :class:`LocalPoolAdapter` -- the historical ``ProcessPoolExecutor``
-  path: capture work pinned to one worker per trace group, resolved
-  groups split per batched-replay partition, broken pools degrading to
-  the serial path.  The default for ``jobs > 1``.
+* :class:`LocalPoolAdapter` -- a **persistent** ``ProcessPoolExecutor``
+  (created on first use, kept warm for the engine's lifetime, recreated
+  once after a mid-batch ``BrokenProcessPool``) fed through the
+  **shared-memory trace arena** (:mod:`repro.core.trace_arena`): resolved
+  traces are published once per batch and tasks ship only tiny handles,
+  so a one-kernel/many-config sweep never pickles the same multi-megabyte
+  trace into every partition task, and worker-side decoded-trace/compile
+  LRUs stay warm across batches.  ``REPRO_SHM_TRACE=0`` or any ``OSError``
+  at segment creation degrades to the historical pickled-trace path (one
+  ``RuntimeWarning``, bit-identical results); a pool that cannot start or
+  dies twice degrades to the serial path.  The default for ``jobs > 1``.
 
 The fleet path reuses the same seam from the outside: ``python -m repro
 worker`` (:mod:`repro.worker`) leases partitions from a coordinator
-(:mod:`repro.core.coordinator`) and drains each one through an ordinary
-engine carrying one of the adapters above -- distribution lives in the
-lease protocol, not in yet another execution code path, so fleet results
-are bit-identical to local runs by construction.
+(:mod:`repro.core.coordinator`) and drains every one through a single
+long-lived engine carrying one of the adapters above -- so fleet workers
+inherit the persistent pool and its warm caches across partitions, and
+distribution lives in the lease protocol, not in yet another execution
+code path, keeping fleet results bit-identical to local runs by
+construction.
 
 Adapters call back into engine helpers (``_resolve_groups``,
 ``_split_resolved_groups``, ``_capture_starved_groups``,
 ``_run_group_serial``) rather than owning copies: those helpers maintain
-engine state (trace memo, capture/store-hit/batched-replay counters) that
-must stay consistent no matter which adapter ran the jobs.
+engine state (trace memo, capture/store-hit/batched-replay/arena
+counters) that must stay consistent no matter which adapter ran the
+jobs.  Engines call :meth:`ExecutionAdapter.close` (via
+``engine.close()`` / ``__del__``) to release whatever the adapter holds.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -59,6 +71,9 @@ class ExecutionAdapter(ABC):
     def execute(self, engine, pending: list, emit: Callable) -> None:
         """Run every job in ``pending``, emitting each outcome once."""
 
+    def close(self) -> None:
+        """Release long-lived resources (pools); default: nothing held."""
+
 
 class SerialAdapter(ExecutionAdapter):
     """Run every trace group in-process, in submission order."""
@@ -71,29 +86,163 @@ class SerialAdapter(ExecutionAdapter):
 
 
 class LocalPoolAdapter(ExecutionAdapter):
-    """Shard trace groups across a local ``ProcessPoolExecutor``.
+    """Shard trace groups across a persistent local process pool.
 
     Simulation is pure Python + numpy, so process-level parallelism is
     the only way to use more than one core.  Capture work is pinned to
     one worker per trace group (keeping every capture single-shot even
     under a pool); replays of already-resolved traces are split per
     batched-replay partition (per up-to-``jobs`` chunk with
-    ``REPRO_BATCHED_REPLAY=0``) before submission.  A pool that cannot
-    start (fork blocked) or dies mid-batch degrades to the serial path
-    for whatever work is left -- never failing the sweep.
+    ``REPRO_BATCHED_REPLAY=0``) before submission, with each resolved
+    trace published once into the shared-memory arena and shipped to its
+    partition tasks as a handle.  The pool outlives the batch: worker
+    processes keep their spec-keyed decoded-trace LRU and the
+    identity-keyed compile memo warm, so follow-up batches over the same
+    trace skip the decode *and* the recompile.  A pool that cannot start
+    (fork blocked) degrades to the serial path; one that dies mid-batch
+    is recreated once and, failing that, the leftovers run serially --
+    never failing the sweep.  ``persistent=False`` restores the
+    pool-per-batch lifetime (the pre-arena behaviour; kept as the
+    benchmark baseline and for callers that cannot keep workers around).
     """
 
     name = "local-pool"
 
-    def __init__(self, jobs: Optional[int] = None):
+    def __init__(self, jobs: Optional[int] = None, persistent: bool = True):
         from .sweep import default_job_count
 
         self.jobs = max(1, default_job_count() if jobs is None else jobs)
+        self.persistent = persistent
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._arena_warned = False
+
+    # -- pool lifetime ------------------------------------------------- #
+
+    def _ensure_pool(self, engine) -> Optional[ProcessPoolExecutor]:
+        """The live pool, creating it on first use (None: cannot start)."""
+        if self._pool is not None:
+            engine._count_pool_reuse()
+            return self._pool
+        try:
+            import multiprocessing
+
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        except OSError:
+            # Restricted environments (fork blocked by seccomp/cgroups):
+            # degrade to the serial path rather than failing the sweep.
+            self._pool = None
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- batch execution ----------------------------------------------- #
+
+    def _warn_arena_degraded(self) -> None:
+        if self._arena_warned:
+            return
+        self._arena_warned = True
+        warnings.warn(
+            "shared-memory trace arena unavailable (shm creation failed); "
+            "falling back to pickled trace shipping for this engine "
+            "(results are unaffected; set REPRO_SHM_TRACE=0 to silence)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _submit(self, pool, engine, arena, task):
+        """Submit one task, via an arena handle whenever the trace is in
+        hand and the arena is alive.  Returns (future, retained spec key
+        or None)."""
+        from .sweep import execute_trace_group, execute_trace_group_arena
+
+        spec, group, trace, payload = task
+        if trace is not None and not arena.dead:
+            before = arena.published
+            handle = arena.publish(spec.cache_key(), trace)
+            if handle is None:
+                # Creation just failed (OSError inside publish): one
+                # warning, then pickled shipping for the rest of the run.
+                self._warn_arena_degraded()
+            else:
+                if arena.published > before:
+                    engine._count_arena_publish(spec)
+                arena.retain(handle.spec_key)
+                return pool.submit(execute_trace_group_arena, group, handle), handle.spec_key
+        return pool.submit(execute_trace_group, group, payload, trace), None
+
+    def _drain_once(self, engine, pool, arena, tasks, remaining, emit) -> bool:
+        """Submit every remaining task and consume completions.  Returns
+        True when the pool broke mid-batch (caller recreates and retries,
+        then degrades to serial)."""
+        from ..isa.trace_io import decode_trace
+
+        broken = False
+        futures: dict = {}
+        retained: dict[int, str] = {}
+        try:
+            for index in sorted(remaining):
+                future, spec_key = self._submit(pool, engine, arena, tasks[index])
+                futures[future] = index
+                if spec_key is not None:
+                    retained[index] = spec_key
+        except (OSError, BrokenProcessPool):
+            broken = True
+        for future in as_completed(futures):
+            index = futures[future]
+            spec, group, task_trace, task_payload = tasks[index]
+            try:
+                outcomes, captured = future.result()
+            except (OSError, BrokenProcessPool):
+                # Workers killed mid-batch: leave this task for the retry
+                # pool (or the serial pass).  Release its arena ref so the
+                # refcount stays balanced across resubmission.
+                broken = True
+                spec_key = retained.pop(index, None)
+                if spec_key is not None:
+                    arena.release(spec_key)
+                continue
+            if captured is not None:
+                engine._count_capture(spec)
+                engine._trace_store.save_payload(spec, captured)
+                if engine.store is None:
+                    # No store to answer later lookups: memoize the
+                    # decoded trace so captured_trace() and follow-up
+                    # batches never recapture.
+                    try:
+                        engine._memo_trace(spec, decode_trace(captured["trace"]))
+                    except (KeyError, TypeError, ValueError):
+                        pass
+            elif task_trace is None and task_payload is not None:
+                # The worker replayed a stored payload: that is the store
+                # hit (counted here, post-decode; the per-spec set keeps
+                # repeats idempotent).
+                engine._count_store_hit(spec)
+            engine._count_batched_replays(group)
+            remaining.discard(index)
+            spec_key = retained.pop(index, None)
+            if spec_key is not None:
+                arena.release(spec_key)
+            # emit runs outside the except scopes above so a
+            # callback/persistence error propagates instead of being
+            # mistaken for a broken pool (which would silently
+            # re-simulate already-finished jobs).
+            for job, outcome in zip(group, outcomes):
+                emit(job, outcome)
+        return broken
 
     def execute(self, engine, pending: list, emit: Callable) -> None:
         from ..core.replay import batched_replay_enabled
-        from ..isa.trace_io import decode_trace
-        from .sweep import batch_partitions, execute_trace_group
+        from ..core.trace_arena import TraceArena
+        from .sweep import batch_partitions
 
         tasks = engine._resolve_groups(pending)
         if self.jobs > 1:
@@ -120,63 +269,23 @@ class LocalPoolAdapter(ExecutionAdapter):
             tasks = engine._split_resolved_groups(tasks)
         remaining = set(range(len(tasks)))
         if self.jobs > 1 and len(tasks) > 1:
-            pool = None
+            arena = TraceArena()
             try:
-                import multiprocessing
-
-                context = None
-                if "fork" in multiprocessing.get_all_start_methods():
-                    context = multiprocessing.get_context("fork")
-                workers = min(self.jobs, len(tasks))
-                pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-            except OSError:
-                # Restricted environments (fork blocked by seccomp/cgroups):
-                # degrade to the serial path rather than failing the sweep.
-                pool = None
-            if pool is not None:
-                with pool:
-                    try:
-                        futures = {
-                            pool.submit(execute_trace_group, group, payload, trace): index
-                            for index, (spec, group, trace, payload) in enumerate(tasks)
-                        }
-                    except (OSError, BrokenProcessPool):
-                        futures = {}
-                    for future in as_completed(futures):
-                        index = futures[future]
-                        spec, group, task_trace, task_payload = tasks[index]
-                        try:
-                            outcomes, captured = future.result()
-                        except (OSError, BrokenProcessPool):
-                            # Workers killed mid-batch: leave this group for
-                            # the serial pass below.
-                            continue
-                        if captured is not None:
-                            engine._count_capture(spec)
-                            engine._trace_store.save_payload(spec, captured)
-                            if engine.store is None:
-                                # No store to answer later lookups: memoize
-                                # the decoded trace so captured_trace() and
-                                # follow-up batches never recapture.
-                                try:
-                                    engine._memo_trace(
-                                        spec, decode_trace(captured["trace"])
-                                    )
-                                except (KeyError, TypeError, ValueError):
-                                    pass
-                        elif task_trace is None and task_payload is not None:
-                            # The worker replayed a stored payload: that is
-                            # the store hit (counted here, post-decode; the
-                            # per-spec set keeps repeats idempotent).
-                            engine._count_store_hit(spec)
-                        engine._count_batched_replays(group)
-                        remaining.discard(index)
-                        # emit runs outside the except scopes above so a
-                        # callback/persistence error propagates instead of
-                        # being mistaken for a broken pool (which would
-                        # silently re-simulate already-finished jobs).
-                        for job, outcome in zip(group, outcomes):
-                            emit(job, outcome)
+                # Two attempts: the live (or fresh) pool, then -- if it
+                # broke mid-batch -- one recreated pool for the leftovers.
+                for _ in range(2):
+                    if not remaining:
+                        break
+                    pool = self._ensure_pool(engine)
+                    if pool is None:
+                        break
+                    if not self._drain_once(engine, pool, arena, tasks, remaining, emit):
+                        break
+                    self.close()
+            finally:
+                arena.close()
+                if not self.persistent:
+                    self.close()
         for index, (spec, group, trace, payload) in enumerate(tasks):
             if index in remaining:
                 engine._run_group_serial(spec, group, trace, payload, emit)

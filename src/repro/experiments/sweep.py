@@ -76,6 +76,7 @@ __all__ = [
     "partition_jobs",
     "execute_job",
     "execute_trace_group",
+    "execute_trace_group_arena",
     "simulate_traced_group",
     "simulate_traced_job",
     "default_job_count",
@@ -276,6 +277,26 @@ def execute_trace_group(
     return simulate_traced_group(jobs, trace), captured
 
 
+def execute_trace_group_arena(
+    jobs: Sequence[KernelJob], handle
+) -> tuple[list[JobOutcome], Optional[dict]]:
+    """Replay one arena-published trace for every job (worker side).
+
+    ``handle`` is a :class:`~repro.core.trace_arena.TraceHandle`; the
+    attach goes through the per-process decoded-trace LRU, so only this
+    worker's *first* task over a given spec pays the shared-memory decode
+    -- later partitions (and later batches, on the persistent pool) reuse
+    the same entry list object and therefore also hit the identity-keyed
+    compile memo.  Return shape matches :func:`execute_trace_group`
+    (captures never happen here: only resolved traces are published).
+
+    Module-level so worker processes can import it by qualified name.
+    """
+    from ..core.trace_arena import attached_trace
+
+    return simulate_traced_group(jobs, attached_trace(handle)), None
+
+
 def execute_job(job: KernelJob) -> JobOutcome:
     """Capture the job's lowering and simulate it (the fused path, now a
     one-job staged run with no persistence and therefore no encode).
@@ -331,6 +352,13 @@ class ParallelSweepEngine:
         #: multi-config batched replay passes performed (one per partition
         #: of :func:`batch_partitions` with at least two jobs)
         self.batched_replays = 0
+        #: shared-memory publishes per spec; the arena contract is exactly
+        #: one per distinct resolved trace per batch, no matter how many
+        #: partition tasks replay it (asserted by the shm perf smoke)
+        self.arena_publishes: dict[TraceSpec, int] = {}
+        #: batches answered by an already-live persistent worker pool
+        #: (vs. batches that had to create one)
+        self.pool_reuses = 0
 
     @property
     def trace_store_hits(self) -> int:
@@ -353,6 +381,36 @@ class ParallelSweepEngine:
 
     def _count_capture(self, spec: TraceSpec) -> None:
         self.trace_captures[spec] = self.trace_captures.get(spec, 0) + 1
+
+    def _count_arena_publish(self, spec: TraceSpec) -> None:
+        self.arena_publishes[spec] = self.arena_publishes.get(spec, 0) + 1
+
+    def _count_pool_reuse(self) -> None:
+        self.pool_reuses += 1
+
+    def close(self) -> None:
+        """Release adapter-held resources (the persistent worker pool).
+
+        Idempotent; also invoked by ``__del__`` and ``__exit__`` so
+        engines used as locals or context managers cannot strand worker
+        processes.  A closed engine stays usable -- the next parallel
+        batch simply recreates the pool.
+        """
+        close = getattr(self.adapter, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ParallelSweepEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter teardown: modules may already be gone
 
     def _count_store_hit(self, spec: TraceSpec) -> None:
         self._trace_store_hit_specs.add(spec)
@@ -488,11 +546,13 @@ class ParallelSweepEngine:
         worker).  Groups that still need their capture stay whole --
         splitting them would break the capture-once-per-batch invariant.
         Stored payloads are decoded here (once, in the parent) rather than
-        per chunk in the workers; a corrupt payload leaves its group whole
-        so it degrades to a single recapture."""
+        per task in the workers -- single-job groups included, so no task
+        ever re-decodes an envelope the parent already resolved; a corrupt
+        payload leaves its group whole so it degrades to a single
+        recapture."""
         split = []
         for spec, group, trace, payload in tasks:
-            if trace is None and payload is not None and len(group) > 1:
+            if trace is None and payload is not None:
                 try:
                     trace = decode_trace(payload["trace"])
                 except (KeyError, TypeError, ValueError):

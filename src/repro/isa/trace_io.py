@@ -16,6 +16,15 @@ entry for entry (dataclass equality), including empty-vs-populated masks,
 ``None`` immediates and scalar-block notes.  Exactness is what lets the
 staged pipeline replay a cached trace through the timing simulator and
 reproduce the fused capture+simulate path bit for bit.
+
+The columnar intermediate representation is a public surface of its own:
+:func:`trace_columns` / :func:`entries_from_columns` expose the raw numpy
+columns without the compress/base64 envelope, which is what the
+shared-memory trace arena (:mod:`repro.core.trace_arena`) ships between
+the sweep parent and its pool workers -- same columns, same entry
+reconstruction, so the arena path is exact for the same reason the
+envelope path is.  :func:`scalar_notes` carries the one non-columnar
+field (scalar-block note strings) alongside.
 """
 
 from __future__ import annotations
@@ -37,7 +46,16 @@ from .instructions import (
     TraceEntry,
 )
 
-__all__ = ["TRACE_CODEC", "encode_trace", "decode_trace", "trace_payload_bytes"]
+__all__ = [
+    "TRACE_CODEC",
+    "encode_trace",
+    "decode_trace",
+    "entries_from_columns",
+    "scalar_notes",
+    "trace_columnar_bytes",
+    "trace_columns",
+    "trace_payload_bytes",
+]
 
 #: codec identifier embedded in every payload; bump on incompatible changes
 TRACE_CODEC = "npz-columnar-v1"
@@ -85,7 +103,15 @@ class _VarColumn:
         )
 
 
-def _to_columns(trace: Sequence[TraceEntry]) -> dict[str, np.ndarray]:
+def trace_columns(trace: Sequence[TraceEntry]) -> dict[str, np.ndarray]:
+    """The trace as its parallel numpy columns (the codec's IR).
+
+    Fixed-width fields become one array per column; variable-length tuple
+    fields become ``<name>_values``/``<name>_offsets`` CSR pairs.  The
+    mapping is everything :func:`entries_from_columns` needs to rebuild the
+    exact entry list except scalar-block note strings
+    (:func:`scalar_notes`), which are not columnar.
+    """
     n = len(trace)
     kind = np.zeros(n, dtype=np.int8)
     opcode = np.full(n, -1, dtype=np.int16)
@@ -177,20 +203,26 @@ def _to_columns(trace: Sequence[TraceEntry]) -> dict[str, np.ndarray]:
     return columns
 
 
+def scalar_notes(trace: Sequence[TraceEntry]) -> list[list]:
+    """Sparse ``[index, note]`` pairs for scalar blocks carrying a note --
+    the only trace field that does not fit the columnar IR."""
+    return [
+        [index, entry.note]
+        for index, entry in enumerate(trace)
+        if isinstance(entry, ScalarBlock) and entry.note
+    ]
+
+
 def encode_trace(trace: Sequence[TraceEntry]) -> dict:
     """Encode a trace into its JSON-safe columnar payload."""
     buffer = io.BytesIO()
-    np.savez_compressed(buffer, **_to_columns(trace))
+    np.savez_compressed(buffer, **trace_columns(trace))
     payload = {
         "codec": TRACE_CODEC,
         "entries": len(trace),
         "npz_b64": base64.b64encode(buffer.getvalue()).decode("ascii"),
     }
-    notes = [
-        [index, entry.note]
-        for index, entry in enumerate(trace)
-        if isinstance(entry, ScalarBlock) and entry.note
-    ]
+    notes = scalar_notes(trace)
     if notes:
         payload["scalar_notes"] = notes
     return payload
@@ -199,6 +231,13 @@ def encode_trace(trace: Sequence[TraceEntry]) -> dict:
 def trace_payload_bytes(payload: dict) -> int:
     """Size of the compressed column data inside a payload, in bytes."""
     return len(payload.get("npz_b64", "")) * 3 // 4
+
+
+def trace_columnar_bytes(columns) -> int:
+    """Decoded columnar footprint: the bytes the raw column arrays occupy
+    (what one arena segment holds, and what each pickled-trace task used
+    to re-materialize)."""
+    return int(sum(column.nbytes for column in columns.values()))
 
 
 def _slices(values: np.ndarray, offsets: np.ndarray, convert) -> list[tuple]:
@@ -227,9 +266,26 @@ def decode_trace(payload: dict) -> list[TraceEntry]:
         # callers, which degrade it to a recapture.
         raise ValueError(f"corrupt trace payload: {error}") from error
 
-    n = int(payload["entries"])
+    return entries_from_columns(
+        columns, int(payload["entries"]), payload.get("scalar_notes", ())
+    )
+
+
+def entries_from_columns(
+    columns, n: int, notes: Sequence[Sequence] = ()
+) -> list[TraceEntry]:
+    """Rebuild the exact entry list from the columnar IR.
+
+    ``columns`` is any mapping of column name to array-like (freshly loaded
+    npz arrays, or the zero-copy shared-memory views the trace arena
+    attaches); ``notes`` the sparse :func:`scalar_notes` pairs.  The
+    reconstruction copies everything out of the arrays, so the backing
+    buffers may be released as soon as this returns.
+    """
     if len(columns["kind"]) != n:
-        raise ValueError(f"trace payload declares {n} entries but carries {len(columns['kind'])}")
+        raise ValueError(
+            f"trace payload declares {n} entries but carries {len(columns['kind'])}"
+        )
     kind = columns["kind"].tolist()
     opcode = columns["opcode"].tolist()
     dtype_col = columns["dtype"].tolist()
@@ -248,7 +304,7 @@ def decode_trace(payload: dict) -> list[TraceEntry]:
         )
         for name in _VAR_COLUMNS
     }
-    notes = {index: note for index, note in payload.get("scalar_notes", ())}
+    notes = {index: note for index, note in notes}
 
     trace: list[TraceEntry] = []
     for i in range(n):

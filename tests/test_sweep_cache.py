@@ -21,6 +21,20 @@ from repro.sweep import main as sweep_cli
 SMALL_JOB = KernelJob(kernel="csum", scale=0.25)
 
 
+@pytest.fixture(autouse=True)
+def _no_arena_segments_after_each_engine():
+    """Every engine this module builds (pooled ones included) must leave
+    /dev/shm clean at test teardown: arena segments are per-batch, not
+    per-engine-lifetime, so they may never survive a run_jobs return."""
+    yield
+    shm_dir = os.path.join(os.sep, "dev", "shm")
+    if os.path.isdir(shm_dir):
+        leaked = sorted(
+            name for name in os.listdir(shm_dir) if name.startswith("repro-arena-")
+        )
+        assert not leaked, f"leaked trace-arena segments: {leaked}"
+
+
 class TestResultStore:
     def test_roundtrip(self, tmp_path):
         store = ResultStore(tmp_path)
